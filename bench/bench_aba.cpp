@@ -1,0 +1,86 @@
+// E6 — the headline result (Theorem 1): almost-surely terminating,
+// optimally resilient, polynomially efficient agreement.
+//
+// Reports, per system size and fault mix: decision rounds (expected O(1)
+// good-coin rounds + at most t(n-t) shunning rounds => polynomial),
+// message/byte cost per run, and agreement/validity violations (must be
+// zero).  The full SVSS-coin stack runs at n in {4, 7}; the ideal-coin
+// abstraction extends the round-count series to larger n (the SCC is
+// measured separately in bench_coin).
+#include "bench_common.hpp"
+
+namespace svss::bench {
+namespace {
+
+void aba_sweep(benchmark::State& state, int n, CoinMode mode,
+               std::optional<ByzKind> fault) {
+  int t = (n - 1) / 3;
+  Metrics total;
+  std::uint64_t runs = 0;
+  double rounds_total = 0;
+  double worst_round = 0;
+  double violations = 0;
+  for (auto _ : state) {
+    auto cfg = config(n, 4200 + runs * 17);
+    if (fault) {
+      for (int i = n - t; i < n; ++i) cfg.faults[i] = ByzConfig{*fault};
+    }
+    Runner r(cfg);
+    auto res = r.run_aba(alternating_inputs(n), mode);
+    total.merge(res.metrics);
+    if (!res.all_decided || !res.agreed) violations += 1;
+    rounds_total += res.max_round;
+    worst_round = std::max(worst_round, static_cast<double>(res.max_round));
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["decide_rounds_avg"] = benchmark::Counter(rounds_total / d);
+  state.counters["decide_rounds_max"] = benchmark::Counter(worst_round);
+  state.counters["violations"] = benchmark::Counter(violations);
+}
+
+void BM_AbaSvssCoinHonest(benchmark::State& state) {
+  aba_sweep(state, static_cast<int>(state.range(0)), CoinMode::kSvss,
+            std::nullopt);
+}
+BENCHMARK(BM_AbaSvssCoinHonest)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+// n = 7 runs tens of millions of packets per coin round; keep iterations
+// low (the shape, not the variance, is what E6 needs here).
+void BM_AbaSvssCoinHonestLarge(benchmark::State& state) {
+  aba_sweep(state, static_cast<int>(state.range(0)), CoinMode::kSvss,
+            std::nullopt);
+}
+BENCHMARK(BM_AbaSvssCoinHonestLarge)->Arg(7)
+    ->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_AbaSvssCoinSilentFaults(benchmark::State& state) {
+  aba_sweep(state, static_cast<int>(state.range(0)), CoinMode::kSvss,
+            ByzKind::kSilent);
+}
+BENCHMARK(BM_AbaSvssCoinSilentFaults)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(8);
+
+void BM_AbaSvssCoinActiveFaults(benchmark::State& state) {
+  aba_sweep(state, static_cast<int>(state.range(0)), CoinMode::kSvss,
+            ByzKind::kWrongRecon);
+}
+BENCHMARK(BM_AbaSvssCoinActiveFaults)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(8);
+
+// Round-count scaling with the SCC abstracted as an ideal common coin:
+// expected rounds stay O(1) in n (the polynomial total cost comes from the
+// per-round coin, measured in bench_coin).
+void BM_AbaIdealCoinScaling(benchmark::State& state) {
+  aba_sweep(state, static_cast<int>(state.range(0)), CoinMode::kIdealCommon,
+            ByzKind::kBitFlip);
+}
+BENCHMARK(BM_AbaIdealCoinScaling)->Arg(4)->Arg(7)->Arg(10)->Arg(13)->Arg(16)
+    ->Arg(25)->Iterations(12);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// E7 — baseline contrast (paper Section 1's comparison table).
+//
+//   Ben-Or 83:      n > 5t, local coins  -> exponential expected rounds
+//   Bracha-84-style: n > 3t, local coins -> exponential expected rounds
+//   This paper:      n > 3t, SVSS coin   -> polynomial expected rounds
+//
+// We sweep n and report average decision rounds for each protocol under
+// identical mixed-input workloads.  The expected shape: local-coin rounds
+// grow quickly with n (coins of ~n-t independent processes must align),
+// common-coin rounds stay flat.
+#include "bench_common.hpp"
+
+namespace svss::bench {
+namespace {
+
+void BM_BenOrRounds(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double rounds_total = 0;
+  for (auto _ : state) {
+    auto cfg = config(n, 7000 + runs * 3);
+    cfg.t = (n - 1) / 5;  // Ben-Or's resilience bound
+    Runner r(cfg);
+    auto res = r.run_benor(alternating_inputs(n));
+    total.merge(res.metrics);
+    rounds_total += res.max_round;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["decide_rounds_avg"] = benchmark::Counter(rounds_total / d);
+}
+BENCHMARK(BM_BenOrRounds)->Arg(6)->Arg(8)->Arg(12)->Arg(16)->Arg(21)
+    ->Iterations(20);
+
+void BM_BrachaLocalCoinRounds(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double rounds_total = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 7100 + runs * 3));
+    auto res = r.run_aba(alternating_inputs(n), CoinMode::kLocal);
+    total.merge(res.metrics);
+    rounds_total += res.max_round;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["decide_rounds_avg"] = benchmark::Counter(rounds_total / d);
+}
+BENCHMARK(BM_BrachaLocalCoinRounds)->Arg(4)->Arg(7)->Arg(10)->Arg(13)->Arg(16)
+    ->Iterations(12);
+
+void BM_SvssCoinRounds(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double rounds_total = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 7200 + runs * 3));
+    auto res = r.run_aba(alternating_inputs(n), CoinMode::kSvss);
+    total.merge(res.metrics);
+    rounds_total += res.max_round;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["decide_rounds_avg"] = benchmark::Counter(rounds_total / d);
+}
+BENCHMARK(BM_SvssCoinRounds)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(8);
+
+void BM_SvssCoinRoundsLarge(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double rounds_total = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 7400 + runs * 3));
+    auto res = r.run_aba(alternating_inputs(n), CoinMode::kSvss);
+    total.merge(res.metrics);
+    rounds_total += res.max_round;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["decide_rounds_avg"] = benchmark::Counter(rounds_total / d);
+}
+BENCHMARK(BM_SvssCoinRoundsLarge)->Arg(7)->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+// Same series with the coin abstracted: isolates the round-count shape
+// from the per-round coin cost so the contrast extends to larger n.
+void BM_CommonCoinRounds(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double rounds_total = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 7300 + runs * 3));
+    auto res = r.run_aba(alternating_inputs(n), CoinMode::kIdealCommon);
+    total.merge(res.metrics);
+    rounds_total += res.max_round;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["decide_rounds_avg"] = benchmark::Counter(rounds_total / d);
+}
+BENCHMARK(BM_CommonCoinRounds)->Arg(4)->Arg(7)->Arg(10)->Arg(13)->Arg(16)
+    ->Iterations(20);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

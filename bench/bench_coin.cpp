@@ -1,0 +1,75 @@
+// E5 — the shunning common coin (Section 5, Definition 2).
+//
+// Claims: (a) the coin terminates for all honest processes; (b) for each
+// sigma in {0,1}, P[all honest output sigma] >= 1/4 in clean (non-shunned)
+// invocations; (c) cost per invocation is polynomial (n^2 SVSS sessions).
+// Reports unanimity frequencies over seed sweeps plus the standard cost
+// counters, honest and with faults.
+#include "bench_common.hpp"
+
+namespace svss::bench {
+namespace {
+
+void coin_sweep(benchmark::State& state, int n,
+                std::optional<ByzKind> fault) {
+  Metrics total;
+  std::uint64_t runs = 0;
+  double unanimous[2] = {0, 0};
+  double mixed = 0;
+  double shun_runs = 0;
+  for (auto _ : state) {
+    auto cfg = config(n, 900 + runs * 13);
+    if (fault) cfg.faults[n - 1] = ByzConfig{*fault};
+    Runner r(cfg);
+    auto res = r.run_coin();
+    total.merge(res.metrics);
+    if (!res.shun_pairs.empty()) shun_runs += 1;
+    if (res.all_output && res.agreed) {
+      unanimous[res.bits.begin()->second] += 1;
+    } else {
+      mixed += 1;
+    }
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["p_unanimous0"] = benchmark::Counter(unanimous[0] / d);
+  state.counters["p_unanimous1"] = benchmark::Counter(unanimous[1] / d);
+  state.counters["p_mixed"] = benchmark::Counter(mixed / d);
+  state.counters["p_shun_run"] = benchmark::Counter(shun_runs / d);
+}
+
+void BM_CoinHonest(benchmark::State& state) {
+  coin_sweep(state, static_cast<int>(state.range(0)), std::nullopt);
+}
+BENCHMARK(BM_CoinHonest)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(24);
+
+void BM_CoinHonestLarge(benchmark::State& state) {
+  coin_sweep(state, static_cast<int>(state.range(0)), std::nullopt);
+}
+BENCHMARK(BM_CoinHonestLarge)->Arg(7)->Unit(benchmark::kSecond)
+    ->Iterations(2);
+
+void BM_CoinSilentFault(benchmark::State& state) {
+  coin_sweep(state, static_cast<int>(state.range(0)), ByzKind::kSilent);
+}
+BENCHMARK(BM_CoinSilentFault)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(16);
+
+void BM_CoinWrongReconFault(benchmark::State& state) {
+  coin_sweep(state, static_cast<int>(state.range(0)), ByzKind::kWrongRecon);
+}
+BENCHMARK(BM_CoinWrongReconFault)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(16);
+
+void BM_CoinBitFlipFault(benchmark::State& state) {
+  coin_sweep(state, static_cast<int>(state.range(0)), ByzKind::kBitFlip);
+}
+BENCHMARK(BM_CoinBitFlipFault)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->Iterations(16);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

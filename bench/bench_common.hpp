@@ -1,0 +1,49 @@
+// Shared helpers for the experiment benchmarks (E1-E9, see DESIGN.md).
+//
+// Each bench binary regenerates one experiment: it sweeps the workload the
+// experiment defines, runs the protocol stack through core::Runner, and
+// reports the series the paper's claims predict (messages, bytes, causal
+// rounds, decision rounds, shun counts) as benchmark counters.  Absolute
+// numbers are simulator-specific; the *shape* (who wins, growth exponents,
+// where crossovers fall) is what EXPERIMENTS.md records against the paper.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/runner.hpp"
+
+namespace svss::bench {
+
+inline RunnerConfig config(int n, std::uint64_t seed,
+                           SchedulerKind sched = SchedulerKind::kRandom) {
+  RunnerConfig cfg;
+  cfg.n = n;
+  cfg.t = (n - 1) / 3;
+  cfg.seed = seed;
+  cfg.scheduler = sched;
+  return cfg;
+}
+
+// Attaches the standard metric counters to a benchmark state.
+inline void report_metrics(benchmark::State& state, const Metrics& m,
+                           double runs) {
+  state.counters["msgs"] =
+      benchmark::Counter(static_cast<double>(m.packets_sent) / runs);
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(m.bytes_sent) / runs);
+  // max_depth merges via max across runs, so it is already a per-run figure.
+  state.counters["rounds"] =
+      benchmark::Counter(static_cast<double>(m.max_depth));
+}
+
+// Mixed 0/1 input vector for agreement runs.
+inline std::vector<int> alternating_inputs(int n) {
+  std::vector<int> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+  return inputs;
+}
+
+}  // namespace svss::bench

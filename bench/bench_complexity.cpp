@@ -1,0 +1,120 @@
+// E9 — polynomial efficiency of the full stack (the "polynomial" leg of
+// Theorem 1).
+//
+// Sweeps n for each layer and fits the growth exponent of messages and
+// bytes on the log-log series: log(cost_n2 / cost_n1) / log(n2 / n1).
+// Expected exponents: RB ~ 2, MW-SVSS ~ 3-4, SVSS ~ 5, coin ~ 6-7 — all
+// constants, i.e. polynomial; the contrast series (local-coin agreement
+// rounds) grows super-polynomially with n instead.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+namespace svss::bench {
+namespace {
+
+double fit_exponent(const std::vector<std::pair<int, double>>& series) {
+  // Least-squares slope of log(cost) vs log(n).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double k = static_cast<double>(series.size());
+  for (const auto& [n, cost] : series) {
+    double x = std::log(static_cast<double>(n));
+    double y = std::log(cost);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (k * sxy - sx * sy) / (k * sxx - sx * sx);
+}
+
+void BM_ExponentMwSvss(benchmark::State& state) {
+  std::vector<std::pair<int, double>> msgs;
+  for (auto _ : state) {
+    msgs.clear();
+    for (int n : {4, 7, 10, 13, 16}) {
+      Runner r(config(n, 9000 + static_cast<std::uint64_t>(n)));
+      auto res = r.run_mwsvss(Fp(1), Fp(1));
+      msgs.emplace_back(n, static_cast<double>(res.metrics.packets_sent));
+    }
+  }
+  state.counters["exponent_msgs"] = benchmark::Counter(fit_exponent(msgs));
+  state.counters["msgs_n16"] = benchmark::Counter(msgs.back().second);
+}
+BENCHMARK(BM_ExponentMwSvss)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_ExponentSvss(benchmark::State& state) {
+  std::vector<std::pair<int, double>> msgs;
+  for (auto _ : state) {
+    msgs.clear();
+    for (int n : {4, 7, 10}) {
+      Runner r(config(n, 9100 + static_cast<std::uint64_t>(n)));
+      auto res = r.run_svss(Fp(1));
+      msgs.emplace_back(n, static_cast<double>(res.metrics.packets_sent));
+    }
+  }
+  state.counters["exponent_msgs"] = benchmark::Counter(fit_exponent(msgs));
+  state.counters["msgs_n10"] = benchmark::Counter(msgs.back().second);
+}
+BENCHMARK(BM_ExponentSvss)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_ExponentCoin(benchmark::State& state) {
+  std::vector<std::pair<int, double>> msgs;
+  for (auto _ : state) {
+    msgs.clear();
+    for (int n : {4, 7}) {
+      Runner r(config(n, 9200 + static_cast<std::uint64_t>(n)));
+      auto res = r.run_coin();
+      msgs.emplace_back(n, static_cast<double>(res.metrics.packets_sent));
+    }
+  }
+  state.counters["exponent_msgs"] = benchmark::Counter(fit_exponent(msgs));
+  state.counters["msgs_n7"] = benchmark::Counter(msgs.back().second);
+}
+BENCHMARK(BM_ExponentCoin)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Full agreement: message exponent of the end-to-end protocol (dominated
+// by the per-round coin), averaged over a few seeds per point.
+void BM_ExponentAba(benchmark::State& state) {
+  std::vector<std::pair<int, double>> msgs;
+  for (auto _ : state) {
+    msgs.clear();
+    for (int n : {4, 7}) {
+      double sum = 0;
+      // One seed per point: an n=7 full-stack run alone is minutes-scale.
+      constexpr int kSeeds = 1;
+      for (int s = 0; s < kSeeds; ++s) {
+        Runner r(config(n, 9300 + static_cast<std::uint64_t>(n * 10 + s)));
+        auto res = r.run_aba(alternating_inputs(n), CoinMode::kSvss);
+        sum += static_cast<double>(res.metrics.packets_sent);
+      }
+      msgs.emplace_back(n, sum / kSeeds);
+    }
+  }
+  state.counters["exponent_msgs"] = benchmark::Counter(fit_exponent(msgs));
+  state.counters["msgs_n7"] = benchmark::Counter(msgs.back().second);
+}
+BENCHMARK(BM_ExponentAba)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Message-size claim: the largest single message stays polynomial (in
+// fact O(n) field elements); report bytes per packet on the SVSS layer.
+void BM_BytesPerPacket(benchmark::State& state) {
+  std::vector<std::pair<int, double>> avg;
+  for (auto _ : state) {
+    avg.clear();
+    for (int n : {4, 7, 10}) {
+      Runner r(config(n, 9400 + static_cast<std::uint64_t>(n)));
+      auto res = r.run_svss(Fp(1));
+      avg.emplace_back(n, static_cast<double>(res.metrics.bytes_sent) /
+                              static_cast<double>(res.metrics.packets_sent));
+    }
+  }
+  state.counters["exponent_avg_bytes"] = benchmark::Counter(fit_exponent(avg));
+  state.counters["avg_packet_bytes_n10"] = benchmark::Counter(avg.back().second);
+}
+BENCHMARK(BM_BytesPerPacket)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// E10 — the extension stack: ACS and ASMPC secure sum.
+//
+// Claims under test: the common-subset protocol agrees on >= n - t members
+// at polynomial cost; the secure-sum functionality produces the correct
+// core sum even when a reveal-phase liar must be error-corrected; costs
+// scale polynomially with n.
+#include "bench_common.hpp"
+
+namespace svss::bench {
+namespace {
+
+void BM_AcsHonest(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double subset_size = 0;
+  double agreements = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 11000 + runs * 7));
+    std::vector<Bytes> proposals;
+    for (int i = 0; i < n; ++i) {
+      proposals.push_back(Bytes{static_cast<std::uint8_t>(i)});
+    }
+    auto res = r.run_acs(proposals);
+    total.merge(res.metrics);
+    if (res.agreed) {
+      agreements += 1;
+      subset_size += static_cast<double>(res.outputs.begin()->second.size());
+    }
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["p_agreed"] = benchmark::Counter(agreements / d);
+  state.counters["subset_avg"] = benchmark::Counter(subset_size / d);
+}
+BENCHMARK(BM_AcsHonest)->Arg(4)->Arg(7)->Arg(10)->Iterations(8);
+
+void BM_AcsWithSilentFaults(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int t = (n - 1) / 3;
+  Metrics total;
+  std::uint64_t runs = 0;
+  double agreements = 0;
+  for (auto _ : state) {
+    auto cfg = config(n, 12000 + runs * 7);
+    for (int i = n - t; i < n; ++i) cfg.faults[i] = ByzConfig{ByzKind::kSilent};
+    Runner r(cfg);
+    std::vector<Bytes> proposals;
+    for (int i = 0; i < n; ++i) {
+      proposals.push_back(Bytes{static_cast<std::uint8_t>(i)});
+    }
+    auto res = r.run_acs(proposals);
+    total.merge(res.metrics);
+    if (res.agreed) agreements += 1;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["p_agreed"] = benchmark::Counter(agreements / d);
+}
+BENCHMARK(BM_AcsWithSilentFaults)->Arg(4)->Arg(7)->Iterations(8);
+
+void BM_SecureSumHonest(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double correct = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 13000 + runs * 7));
+    std::vector<Fp> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(Fp(100 + i));
+    auto res = r.run_secure_sum(inputs);
+    total.merge(res.metrics);
+    if (res.agreed && res.all_output) {
+      Fp expected(0);
+      for (int d : res.cores.begin()->second) {
+        expected += inputs[static_cast<std::size_t>(d)];
+      }
+      if (expected.value() == res.outputs.begin()->second) correct += 1;
+    }
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["p_correct"] = benchmark::Counter(correct / d);
+}
+BENCHMARK(BM_SecureSumHonest)->Arg(4)->Arg(7)->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SecureSumWithRevealLiar(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double correct = 0;
+  double completed = 0;
+  for (auto _ : state) {
+    auto cfg = config(n, 14000 + runs * 7);
+    cfg.faults[n - 1] = ByzConfig{ByzKind::kBitFlip, 0, 0.9};
+    Runner r(cfg);
+    std::vector<Fp> inputs;
+    for (int i = 0; i < n; ++i) inputs.push_back(Fp(5 * i + 1));
+    auto res = r.run_secure_sum(inputs);
+    total.merge(res.metrics);
+    if (res.all_output) {
+      completed += 1;
+      Fp expected(0);
+      for (int d : res.cores.begin()->second) {
+        expected += inputs[static_cast<std::size_t>(d)];
+      }
+      if (res.agreed && expected.value() == res.outputs.begin()->second) {
+        correct += 1;
+      }
+    }
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["p_completed"] = benchmark::Counter(completed / d);
+  state.counters["p_correct_of_completed"] =
+      benchmark::Counter(completed > 0 ? correct / completed : 0);
+}
+BENCHMARK(BM_SecureSumWithRevealLiar)->Arg(4)->Iterations(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MvbaRounds(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Metrics total;
+  std::uint64_t runs = 0;
+  double agreements = 0;
+  for (auto _ : state) {
+    Runner r(config(n, 15000 + runs * 7));
+    std::vector<Fp> proposals;
+    for (int i = 0; i < n; ++i) proposals.push_back(Fp(1 + (i % 2)));
+    auto res = r.run_mvba(proposals, Fp(0));
+    total.merge(res.metrics);
+    if (res.agreed) agreements += 1;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["p_agreed"] = benchmark::Counter(agreements / d);
+}
+BENCHMARK(BM_MvbaRounds)->Arg(4)->Arg(7)->Arg(10)->Iterations(10);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

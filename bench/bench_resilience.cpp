@@ -1,0 +1,73 @@
+// E8 — the resilience boundary (optimality: n > 3t is tight, [PSL 80]).
+//
+// At n = 3t + 1 the protocol works with t Byzantine processes (measured
+// here as: agreement+termination across seed sweeps).  At n = 3t the
+// impossibility bites: with t silent processes the quorums n - t = 2t
+// cannot exclude t faulty echoes while still being reachable, and runs
+// stall (no liveness) — the simulator demonstrates the boundary rather
+// than disagreement, since our honest-code faulty processes do not execute
+// the split-brain strategy of the lower-bound proof.
+#include "bench_common.hpp"
+
+namespace svss::bench {
+namespace {
+
+void BM_AtOptimalResilience(benchmark::State& state) {
+  int t = static_cast<int>(state.range(0));
+  int n = 3 * t + 1;
+  std::uint64_t runs = 0;
+  double decided_runs = 0;
+  double violations = 0;
+  Metrics total;
+  for (auto _ : state) {
+    auto cfg = config(n, 8000 + runs * 7);
+    cfg.t = t;
+    for (int i = n - t; i < n; ++i) {
+      cfg.faults[i] = ByzConfig{ByzKind::kBitFlip, 0, 0.2};
+    }
+    Runner r(cfg);
+    auto res = r.run_aba(alternating_inputs(n), CoinMode::kIdealCommon);
+    if (res.all_decided) decided_runs += 1;
+    if (res.all_decided && !res.agreed) violations += 1;
+    total.merge(res.metrics);
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["n"] = benchmark::Counter(static_cast<double>(n));
+  state.counters["p_terminated"] = benchmark::Counter(decided_runs / d);
+  state.counters["violations"] = benchmark::Counter(violations);
+}
+BENCHMARK(BM_AtOptimalResilience)->Arg(1)->Arg(2)->Arg(3)->Iterations(10);
+
+// n = 3t: with t crashed processes, honest quorums are unreachable and the
+// run stalls (p_terminated ~ 0).  Delivery-capped short runs keep the
+// bench finite.
+void BM_BeyondResilienceBound(benchmark::State& state) {
+  int t = static_cast<int>(state.range(0));
+  int n = 3 * t;
+  std::uint64_t runs = 0;
+  double decided_runs = 0;
+  Metrics total;
+  for (auto _ : state) {
+    auto cfg = config(n, 8100 + runs * 7);
+    cfg.t = t;
+    cfg.max_deliveries = 2'000'000;
+    for (int i = n - t; i < n; ++i) cfg.faults[i] = ByzConfig{ByzKind::kSilent};
+    Runner r(cfg);
+    auto res = r.run_aba(alternating_inputs(n), CoinMode::kIdealCommon);
+    if (res.all_decided) decided_runs += 1;
+    total.merge(res.metrics);
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  state.counters["n"] = benchmark::Counter(static_cast<double>(n));
+  state.counters["p_terminated"] = benchmark::Counter(decided_runs / d);
+}
+BENCHMARK(BM_BeyondResilienceBound)->Arg(1)->Arg(2)->Arg(3)->Iterations(6);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// E4 — the shunning budget (Section 5's counting argument).
+//
+// Claim: a faulty process can break validity/binding against a given
+// honest process at most once; across the whole system the adversary's
+// budget is t * (n - t) = O(n^2) broken sessions, after which every coin
+// round is clean.  We run many sequential SVSS sessions with persistent
+// corrupting processes and report (a) cumulative distinct shun pairs and
+// (b) in which session the last new pair appeared — both must stay at or
+// under the budget, and new pairs must dry up.
+#include "bench_common.hpp"
+
+#include <set>
+
+namespace svss::bench {
+namespace {
+
+void BM_ShunBudgetSequentialSessions(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int t = (n - 1) / 3;
+  double total_pairs = 0;
+  double last_new_session = 0;
+  double broken_sessions = 0;
+  std::uint64_t runs = 0;
+  constexpr std::uint32_t kSessions = 12;
+  for (auto _ : state) {
+    auto cfg = config(n, 500 + runs);
+    for (int i = n - t; i < n; ++i) {
+      cfg.faults[i] = ByzConfig{ByzKind::kWrongRecon};
+    }
+    Runner r(cfg);
+    std::set<std::pair<int, int>> pairs;
+    std::uint32_t last_new = 0;
+    std::uint32_t broken = 0;
+    // Sequential sessions inside ONE engine so DMM state persists: dealer
+    // rotates among honest processes.
+    for (std::uint32_t c = 1; c <= kSessions; ++c) {
+      SessionId sid = svss_top_id(c, static_cast<int>(c) % (n - t));
+      for (int i = 0; i < n; ++i) {
+        Context cx = r.ctx(i);
+        if (i == sid.owner) r.node(i).svss(cx, sid).deal(cx, Fp(1000 + c));
+      }
+      (void)r.engine().run_until([&] {
+        for (int i : r.honest_ids()) {
+          const SvssSession* s = r.node(i).find_svss(sid);
+          if (s == nullptr || !s->share_complete()) return false;
+        }
+        return true;
+      });
+      for (int i = 0; i < n; ++i) {
+        const SvssSession* s = r.node(i).find_svss(sid);
+        if (s != nullptr && s->share_complete()) {
+          Context cx = r.ctx(i);
+          r.node(i).svss(cx, sid).start_reconstruct(cx);
+        }
+      }
+      (void)r.engine().run_until([&] {
+        for (int i : r.honest_ids()) {
+          const SvssSession* s = r.node(i).find_svss(sid);
+          if (s == nullptr || !s->has_output()) return false;
+        }
+        return true;
+      });
+      // Outcome bookkeeping.
+      std::set<std::optional<std::uint64_t>> distinct;
+      for (int i : r.honest_ids()) {
+        const SvssSession* s = r.node(i).find_svss(sid);
+        if (s != nullptr && s->has_output()) {
+          auto out = s->output();
+          distinct.insert(out ? std::optional<std::uint64_t>(out->value())
+                              : std::nullopt);
+        }
+      }
+      bool correct = distinct.size() == 1 && *distinct.begin() &&
+                     **distinct.begin() == 1000 + c;
+      if (!correct) ++broken;
+      std::size_t before = pairs.size();
+      for (const auto& p : r.honest_shun_pairs()) pairs.insert(p);
+      if (pairs.size() > before) last_new = c;
+    }
+    total_pairs += static_cast<double>(pairs.size());
+    last_new_session += last_new;
+    broken_sessions += broken;
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  state.counters["shun_pairs"] = benchmark::Counter(total_pairs / d);
+  state.counters["budget"] =
+      benchmark::Counter(static_cast<double>(t * (n - t)));
+  state.counters["last_new_pair_session"] =
+      benchmark::Counter(last_new_session / d);
+  state.counters["broken_sessions"] = benchmark::Counter(broken_sessions / d);
+}
+BENCHMARK(BM_ShunBudgetSequentialSessions)->Arg(4)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

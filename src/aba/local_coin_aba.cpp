@@ -1,0 +1,129 @@
+#include "aba/local_coin_aba.hpp"
+
+namespace svss {
+
+namespace {
+
+constexpr std::uint32_t kMaxRound = 1u << 20;
+
+SessionId benor_sid() {
+  return SessionId{SessionPath::kAba, 1, -1, -1, -1, 0};
+}
+
+// Subtypes: 10 = R-phase, 11 = P-phase, 13 = DECIDE.
+Message benor_msg(std::uint32_t round, int subtype, int payload) {
+  Message m;
+  m.sid = benor_sid();
+  m.type = MsgType::kAbaVote;
+  m.a = static_cast<std::int16_t>(round % 32768);
+  m.b = static_cast<std::int16_t>(subtype);
+  m.ints.push_back(payload);
+  m.ints.push_back(static_cast<int>(round));
+  return m;
+}
+
+}  // namespace
+
+BenOrSession::BenOrSession(SendFn send, int self, int n, int t)
+    : send_(std::move(send)), self_(self), n_(n), t_(t) {}
+
+void BenOrSession::start(Context& ctx, int input) {
+  if (started_) return;
+  started_ = true;
+  est_ = input != 0 ? 1 : 0;
+  enter_round(ctx, 1);
+}
+
+void BenOrSession::enter_round(Context& ctx, std::uint32_t r) {
+  round_ = r;
+  Round& st = rounds_[r];
+  if (!st.r_sent) {
+    st.r_sent = true;
+    for (int to = 0; to < n_; ++to) {
+      send_(ctx, to, benor_msg(r, 10, est_));
+    }
+  }
+  progress(ctx);
+}
+
+void BenOrSession::on_direct(Context& ctx, int from, const Message& m) {
+  if (m.type != MsgType::kAbaVote || m.ints.size() != 2) return;
+  auto r = static_cast<std::uint32_t>(m.ints[1]);
+  if (r < 1 || r > kMaxRound) return;
+  int v = m.ints[0];
+  switch (m.b) {
+    case 10:
+      if (v != 0 && v != 1) return;
+      rounds_[r].r_from.emplace(from, v);
+      break;
+    case 11:
+      if (v != 0 && v != 1 && v != kQuestion) return;
+      rounds_[r].p_from.emplace(from, v);
+      break;
+    case 13:
+      if (v != 0 && v != 1) return;
+      decide_from_[v].insert(from);
+      if (static_cast<int>(decide_from_[v].size()) >= t_ + 1) {
+        decide(ctx, v);
+      }
+      return;
+    default:
+      return;
+  }
+  if (started_ && r == round_) progress(ctx);
+}
+
+void BenOrSession::progress(Context& ctx) {
+  Round& st = rounds_[round_];
+  if (st.advanced) return;
+
+  if (!st.p_sent) {
+    if (static_cast<int>(st.r_from.size()) < n_ - t_) return;
+    int count[2] = {0, 0};
+    for (const auto& [sender, v] : st.r_from) count[v]++;
+    int proposal = kQuestion;
+    for (int v = 0; v < 2; ++v) {
+      if (2 * count[v] > n_ + t_) proposal = v;
+    }
+    st.p_sent = true;
+    for (int to = 0; to < n_; ++to) {
+      send_(ctx, to, benor_msg(round_, 11, proposal));
+    }
+  }
+
+  if (static_cast<int>(st.p_from.size()) < n_ - t_) return;
+  int count[2] = {0, 0};
+  for (const auto& [sender, v] : st.p_from) {
+    if (v == 0 || v == 1) count[v]++;
+  }
+  bool have_est = false;
+  for (int v = 0; v < 2; ++v) {
+    if (count[v] >= 2 * t_ + 1) {
+      decide(ctx, v);
+      est_ = v;
+      have_est = true;
+    } else if (count[v] >= t_ + 1) {
+      est_ = v;
+      have_est = true;
+    }
+  }
+  if (!have_est) est_ = ctx.rng().next_bool() ? 1 : 0;
+  st.advanced = true;
+  enter_round(ctx, round_ + 1);
+}
+
+void BenOrSession::decide(Context& ctx, int value) {
+  if (decision_) return;
+  decision_ = value;
+  decision_round_ = round_;
+  ctx.log().record(Event{EventKind::kAbaDecide, self_,
+                         static_cast<int>(round_), benor_sid(), value, true});
+  if (!decide_sent_) {
+    decide_sent_ = true;
+    for (int to = 0; to < n_; ++to) {
+      send_(ctx, to, benor_msg(round_, 13, value));
+    }
+  }
+}
+
+}  // namespace svss

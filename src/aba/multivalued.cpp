@@ -1,0 +1,56 @@
+#include "aba/multivalued.hpp"
+
+#include <map>
+
+namespace svss {
+
+MvbaSession::MvbaSession(MvbaHost& host, int self, int n, int t,
+                         Fp default_value)
+    : host_(host), self_(self), n_(n), t_(t), default_value_(default_value) {}
+
+Bytes MvbaSession::encode_proposal(Fp value) {
+  Writer w;
+  w.field(value);
+  return std::move(w).take();
+}
+
+std::optional<Fp> MvbaSession::decode_proposal(const Bytes& raw) {
+  Reader r(raw);
+  auto v = r.field();
+  if (!v || !r.exhausted()) return std::nullopt;
+  return v;
+}
+
+void MvbaSession::start(Context& ctx, Fp proposal) {
+  if (started_) return;
+  started_ = true;
+  host_.mvba_start_acs(ctx, encode_proposal(proposal));
+}
+
+void MvbaSession::on_acs_output(
+    Context& ctx, const std::vector<std::pair<int, Bytes>>& subset) {
+  (void)ctx;
+  if (decision_) return;
+  // Plurality of the agreed values, ties broken by the smallest value.
+  // The subset is identical at every honest process (ACS agreement), so
+  // this deterministic rule preserves agreement.
+  std::map<std::uint64_t, int> counts;
+  for (const auto& [j, raw] : subset) {
+    if (auto v = decode_proposal(raw)) counts[v->value()]++;
+  }
+  if (counts.empty()) {
+    decision_ = default_value_;
+    return;
+  }
+  std::uint64_t best_value = 0;
+  int best_count = 0;
+  for (const auto& [v, c] : counts) {
+    if (c > best_count) {  // map order makes the first maximum smallest
+      best_count = c;
+      best_value = v;
+    }
+  }
+  decision_ = Fp(static_cast<std::int64_t>(best_value));
+}
+
+}  // namespace svss

@@ -1,0 +1,78 @@
+#include "acs/acs.hpp"
+
+namespace svss {
+
+namespace {
+
+SessionId acs_sid() {
+  // Shares the kAba path with variant 2 (0 = agreement, 1 = Ben-Or).
+  return SessionId{SessionPath::kAba, 2, -1, -1, -1, 0};
+}
+
+}  // namespace
+
+AcsSession::AcsSession(AcsHost& host, int self, int n, int t,
+                       AcsOptions options)
+    : host_(host), self_(self), n_(n), t_(t), options_(options) {}
+
+void AcsSession::start(Context& ctx, Bytes value) {
+  if (started_) return;
+  started_ = true;
+  Message m;
+  m.sid = acs_sid();
+  m.type = MsgType::kAcsProposal;
+  m.blob = std::move(value);
+  host_.rb_broadcast(ctx, m);
+}
+
+void AcsSession::mark_ready(Context& ctx, int j) {
+  if (j < 0 || j >= n_) return;
+  if (input_given_.insert(j).second) {
+    host_.acs_start_aba(ctx, static_cast<std::uint32_t>(j), 1);
+  }
+}
+
+void AcsSession::on_broadcast(Context& ctx, int origin, const Message& m) {
+  if (m.type != MsgType::kAcsProposal) return;
+  if (!proposals_.emplace(origin, m.blob).second) return;
+  if (options_.vouch_on_proposal) mark_ready(ctx, origin);
+  try_output(ctx);
+}
+
+void AcsSession::on_aba_decided(Context& ctx, std::uint32_t instance,
+                                int value) {
+  if (instance >= static_cast<std::uint32_t>(n_)) return;
+  if (!decisions_.emplace(static_cast<int>(instance), value).second) return;
+  if (value == 1) ++ones_;
+  try_flush_zero_inputs(ctx);
+  try_output(ctx);
+}
+
+void AcsSession::try_flush_zero_inputs(Context& ctx) {
+  if (zeros_flushed_ || ones_ < n_ - t_) return;
+  zeros_flushed_ = true;
+  for (int j = 0; j < n_; ++j) {
+    if (input_given_.insert(j).second) {
+      host_.acs_start_aba(ctx, static_cast<std::uint32_t>(j), 0);
+    }
+  }
+}
+
+void AcsSession::try_output(Context& ctx) {
+  if (output_ || static_cast<int>(decisions_.size()) < n_) return;
+  std::vector<std::pair<int, Bytes>> subset;
+  for (const auto& [j, v] : decisions_) {
+    if (v != 1) continue;
+    auto it = proposals_.find(j);
+    if (it == proposals_.end()) {
+      if (options_.require_proposals) return;  // RB still in flight
+      subset.emplace_back(j, Bytes{});
+      continue;
+    }
+    subset.emplace_back(j, it->second);
+  }
+  output_ = subset;
+  host_.acs_completed(ctx, *output_);
+}
+
+}  // namespace svss

@@ -1,0 +1,102 @@
+// ACS — Agreement on a Common Subset (Ben-Or/Kelmer/Rabin style), built on
+// n parallel instances of the paper's binary agreement.
+//
+// Each process proposes an opaque value; all honest processes agree on a
+// common subset of at least n - t processes whose proposals everyone
+// adopts.  This is the canonical consumer of asynchronous binary ABA (the
+// core of asynchronous secure computation and of modern atomic-broadcast
+// systems) and is the composition the paper's ASMPC remark (Section 6)
+// presupposes.
+//
+// Protocol, per process:
+//  1. RB-broadcast own proposal.
+//  2. Vouch for j (input 1 to ABA_j) when j becomes "ready" — by default
+//     when j's proposal arrives; embedders may instead vouch on their own
+//     condition via mark_ready (e.g. "j's input sharing completed" in the
+//     ASMPC layer).
+//  3. Once n - t instances decided 1, input 0 to every instance not yet
+//     provided with an input.
+//  4. When all n instances decided, the subset is {j : ABA_j == 1}.  With
+//     require_proposals, additionally wait for the subset's proposals (a
+//     1-decision implies an honest process vouched, which in the default
+//     mode implies it received the proposal, so RB delivers it
+//     everywhere).
+//
+// Agreement on the subset follows from ABA agreement; matching proposals
+// from RB correctness; |subset| >= n - t because the n - t instances some
+// honest process saw decide 1 decide 1 everywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "aba/aba.hpp"
+#include "common/serialization.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace svss {
+
+class AcsHost {
+ public:
+  virtual ~AcsHost() = default;
+  virtual void rb_broadcast(Context& ctx, const Message& m) = 0;
+  // Starts (or provides input to) agreement instance `instance`.  The ACS
+  // owns instances [0, n).
+  virtual void acs_start_aba(Context& ctx, std::uint32_t instance,
+                             int input) = 0;
+  // Invoked exactly once when the subset is agreed and complete.
+  virtual void acs_completed(
+      Context& ctx, const std::vector<std::pair<int, Bytes>>& subset) = 0;
+};
+
+struct AcsOptions {
+  // Vouch for j automatically when j's proposal is RB-delivered.
+  bool vouch_on_proposal = true;
+  // Gate the output on having the subset members' proposals (pairs of
+  // members whose proposal never arrives carry empty bytes otherwise).
+  bool require_proposals = true;
+};
+
+class AcsSession {
+ public:
+  AcsSession(AcsHost& host, int self, int n, int t, AcsOptions options = {});
+
+  // Proposes `value` and joins the protocol.
+  void start(Context& ctx, Bytes value);
+  // Externally vouches for j's inclusion (input 1 to ABA_j).
+  void mark_ready(Context& ctx, int j);
+  // RB-delivered kAcsProposal messages.
+  void on_broadcast(Context& ctx, int origin, const Message& m);
+  // Decision of agreement instance `instance`, routed by the host.
+  void on_aba_decided(Context& ctx, std::uint32_t instance, int value);
+
+  [[nodiscard]] bool has_output() const { return output_.has_value(); }
+  // The agreed subset as (process, proposal) pairs, ascending by process.
+  [[nodiscard]] const std::vector<std::pair<int, Bytes>>& output() const {
+    return *output_;
+  }
+
+ private:
+  void try_flush_zero_inputs(Context& ctx);
+  void try_output(Context& ctx);
+
+  AcsHost& host_;
+  int self_;
+  int n_;
+  int t_;
+  AcsOptions options_;
+  bool started_ = false;
+  std::map<int, Bytes> proposals_;
+  std::set<int> input_given_;
+  std::map<int, int> decisions_;
+  int ones_ = 0;
+  bool zeros_flushed_ = false;
+  std::optional<std::vector<std::pair<int, Bytes>>> output_;
+};
+
+}  // namespace svss

@@ -1,0 +1,84 @@
+#include "asmpc/secure_sum.hpp"
+
+namespace svss {
+
+SessionId sum_input_sid(int dealer) {
+  SessionId sid;
+  sid.path = SessionPath::kSvssTop;
+  sid.owner = static_cast<std::int16_t>(dealer);
+  sid.counter = kSumCounterBase + static_cast<std::uint32_t>(dealer);
+  return sid;
+}
+
+namespace {
+
+SessionId sum_recon_sid() {
+  // Shares the kAba path with variant 3 (0 = agreement, 1 = Ben-Or,
+  // 2 = ACS proposals).
+  return SessionId{SessionPath::kAba, 3, -1, -1, -1, 0};
+}
+
+}  // namespace
+
+SecureSumSession::SecureSumSession(SecureSumHost& host, int self, int n,
+                                   int t)
+    : host_(host), self_(self), n_(n), t_(t), decoder_(t, 2 * t + 1) {}
+
+void SecureSumSession::start(Context& ctx, Fp input) {
+  if (started_) return;
+  started_ = true;
+  host_.sum_svss(ctx, sum_input_sid(self_)).deal(ctx, input);
+  // Join input selection immediately; vouching happens as shares land.
+  host_.sum_start_acs(ctx, Bytes{});
+}
+
+void SecureSumSession::on_input_share_complete(Context& ctx,
+                                               const SessionId& sid) {
+  int dealer = sid.owner;
+  if (!inputs_ready_.insert(dealer).second) return;
+  host_.sum_vouch(ctx, dealer);
+  maybe_broadcast_point(ctx);
+}
+
+void SecureSumSession::on_acs_output(
+    Context& ctx, const std::vector<std::pair<int, Bytes>>& subset) {
+  if (core_) return;
+  std::set<int> core;
+  for (const auto& [j, bytes] : subset) core.insert(j);
+  core_ = std::move(core);
+  maybe_broadcast_point(ctx);
+}
+
+void SecureSumSession::maybe_broadcast_point(Context& ctx) {
+  if (point_sent_ || !core_) return;
+  // Need the completed share *and* this process's own slices for every
+  // included dealer; a Byzantine dealer may have withheld slices (see the
+  // header caveat), in which case this process abstains.
+  Fp sum_point(0);
+  for (int d : *core_) {
+    if (inputs_ready_.count(d) == 0) return;  // completes eventually
+    const SvssSession& s = host_.sum_svss(ctx, sum_input_sid(d));
+    auto g = s.g_slice();
+    if (!g) return;  // withheld slices: abstain (possibly forever)
+    sum_point += g->eval(Fp(0));
+  }
+  point_sent_ = true;
+  Message m;
+  m.sid = sum_recon_sid();
+  m.type = MsgType::kSumPoint;
+  m.vals.push_back(sum_point);
+  host_.rb_broadcast(ctx, m);
+}
+
+void SecureSumSession::on_broadcast(Context& ctx, int origin,
+                                    const Message& m) {
+  (void)ctx;
+  if (m.type != MsgType::kSumPoint || m.vals.size() != 1 || output_) return;
+  // Online error correction over the broadcast points: decode F with
+  // F(point(j)) = g_sum_j(0); the sum is F(0).
+  if (auto f = decoder_.add_point(point(origin), m.vals[0])) {
+    output_ = f->eval(Fp(0));
+  }
+}
+
+}  // namespace svss

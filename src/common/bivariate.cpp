@@ -1,0 +1,101 @@
+#include "common/bivariate.hpp"
+
+namespace svss {
+
+BivariatePolynomial BivariatePolynomial::random_with_secret(Fp secret, int deg,
+                                                            Rng& rng) {
+  BivariatePolynomial f;
+  f.deg_ = deg;
+  f.a_.assign(static_cast<std::size_t>(deg) + 1,
+              FieldVec(static_cast<std::size_t>(deg) + 1));
+  for (int i = 0; i <= deg; ++i) {
+    for (int j = 0; j <= deg; ++j) {
+      f.a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          rng.next_field();
+    }
+  }
+  f.a_[0][0] = secret;
+  return f;
+}
+
+Fp BivariatePolynomial::eval(Fp x, Fp y) const {
+  // Horner in x of Horner-in-y row evaluations.
+  Fp acc(0);
+  for (int i = deg_; i >= 0; --i) {
+    Fp row_val(0);
+    const FieldVec& row = a_[static_cast<std::size_t>(i)];
+    for (int j = deg_; j >= 0; --j) {
+      row_val = row_val * y + row[static_cast<std::size_t>(j)];
+    }
+    acc = acc * x + row_val;
+  }
+  return acc;
+}
+
+Polynomial BivariatePolynomial::row(int j) const {
+  // f(j, y): coefficient of y^k is sum_i a[i][k] j^i.
+  Fp x(j);
+  FieldVec c(static_cast<std::size_t>(deg_) + 1, Fp(0));
+  Fp xp(1);
+  for (int i = 0; i <= deg_; ++i) {
+    for (int k = 0; k <= deg_; ++k) {
+      c[static_cast<std::size_t>(k)] +=
+          a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] * xp;
+    }
+    xp *= x;
+  }
+  return Polynomial(std::move(c));
+}
+
+Polynomial BivariatePolynomial::column(int j) const {
+  // f(x, j): coefficient of x^i is sum_k a[i][k] j^k.
+  Fp y(j);
+  FieldVec c(static_cast<std::size_t>(deg_) + 1, Fp(0));
+  for (int i = 0; i <= deg_; ++i) {
+    Fp yp(1);
+    for (int k = 0; k <= deg_; ++k) {
+      c[static_cast<std::size_t>(i)] +=
+          a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] * yp;
+      yp *= y;
+    }
+  }
+  return Polynomial(std::move(c));
+}
+
+std::optional<BivariatePolynomial> BivariatePolynomial::interpolate_checked(
+    const std::vector<Fp>& xs,
+    const std::vector<std::vector<std::pair<Fp, Fp>>>& rows, int deg) {
+  if (static_cast<int>(xs.size()) < deg + 1 || xs.size() != rows.size()) {
+    return std::nullopt;
+  }
+  // Interpolate each sample row as a univariate polynomial in y, checking
+  // consistency; then interpolate coefficient-wise in x.
+  std::vector<Polynomial> row_polys;
+  row_polys.reserve(xs.size());
+  for (const auto& row : rows) {
+    auto p = Polynomial::interpolate_checked(row, deg);
+    if (!p) return std::nullopt;
+    row_polys.push_back(std::move(*p));
+  }
+  BivariatePolynomial f;
+  f.deg_ = deg;
+  f.a_.assign(static_cast<std::size_t>(deg) + 1,
+              FieldVec(static_cast<std::size_t>(deg) + 1));
+  for (int k = 0; k <= deg; ++k) {
+    std::vector<std::pair<Fp, Fp>> pts;
+    pts.reserve(xs.size());
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+      pts.emplace_back(xs[r],
+                       row_polys[r].coefficients()[static_cast<std::size_t>(k)]);
+    }
+    auto px = Polynomial::interpolate_checked(pts, deg);
+    if (!px) return std::nullopt;
+    for (int i = 0; i <= deg; ++i) {
+      f.a_[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+          px->coefficients()[static_cast<std::size_t>(i)];
+    }
+  }
+  return f;
+}
+
+}  // namespace svss

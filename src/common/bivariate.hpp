@@ -1,0 +1,52 @@
+// Bivariate polynomials of degree (t, t) over GF(p).
+//
+// The SVSS dealer hides its secret as f(0,0) of a random bivariate degree-t
+// polynomial and hands process j the two univariate slices g_j(y) = f(j, y)
+// and h_j(x) = f(x, j).  The cross-consistency h_k(l) == g_l(k) is what the
+// reconstruct phase checks pairwise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/field.hpp"
+#include "common/polynomial.hpp"
+#include "common/rng.hpp"
+
+namespace svss {
+
+class BivariatePolynomial {
+ public:
+  // Zero polynomial of degree bound 0.
+  BivariatePolynomial() : deg_(0), a_(1, FieldVec(1)) {}
+
+  // Uniformly random with f(0,0) == secret and degree <= deg in each
+  // variable (paper, S step 1: a00 = s, remaining coefficients random).
+  static BivariatePolynomial random_with_secret(Fp secret, int deg, Rng& rng);
+
+  [[nodiscard]] Fp eval(Fp x, Fp y) const;
+  [[nodiscard]] Fp secret() const { return a_[0][0]; }
+  [[nodiscard]] int degree_bound() const { return deg_; }
+
+  // g_j(y) = f(j, y): the "row" polynomial given to process j.
+  [[nodiscard]] Polynomial row(int j) const;
+  // h_j(x) = f(x, j): the "column" polynomial given to process j.
+  [[nodiscard]] Polynomial column(int j) const;
+
+  // Reconstructs the unique degree-(deg,deg) bivariate polynomial through a
+  // grid of samples f(x_k, y_l), or nullopt if the samples are inconsistent
+  // with any such polynomial.  `rows[k]` holds {(y_l, f(x_k, y_l))}.
+  static std::optional<BivariatePolynomial> interpolate_checked(
+      const std::vector<Fp>& xs,
+      const std::vector<std::vector<std::pair<Fp, Fp>>>& rows, int deg);
+
+  friend bool operator==(const BivariatePolynomial&,
+                         const BivariatePolynomial&) = default;
+
+ private:
+  int deg_;
+  // a_[i][j] is the coefficient of x^i y^j.
+  std::vector<FieldVec> a_;
+};
+
+}  // namespace svss

@@ -1,0 +1,25 @@
+#include "common/field.hpp"
+
+#include <ostream>
+
+namespace svss {
+
+Fp Fp::pow(std::uint64_t e) const {
+  Fp base = *this;
+  Fp acc(1);
+  while (e != 0) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+Fp Fp::inverse() const {
+  if (v_ == 0) return Fp(0);
+  return pow(kModulus - 2);
+}
+
+std::ostream& operator<<(std::ostream& os, Fp x) { return os << x.value(); }
+
+}  // namespace svss

@@ -1,0 +1,79 @@
+// Finite-field arithmetic over GF(p) with p = 2^31 - 1 (a Mersenne prime).
+//
+// All secret-sharing in the SVSS/MW-SVSS protocols happens over a finite
+// field F with |F| > n.  The paper leaves the field unspecified; we fix the
+// Mersenne prime 2^31 - 1, which is far larger than any realistic n, keeps
+// every element in a machine word, and makes reduction branch-cheap.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace svss {
+
+// An element of GF(2^31 - 1).  Value-semantic, always in canonical range
+// [0, p).  Arithmetic never overflows: products are computed in 64 bits.
+class Fp {
+ public:
+  static constexpr std::uint64_t kModulus = (1ULL << 31) - 1;
+
+  constexpr Fp() = default;
+  // Reduces an arbitrary signed value into the field.
+  constexpr explicit Fp(std::int64_t v) : v_(reduce_signed(v)) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) { return from_raw(add(a.v_, b.v_)); }
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    return from_raw(add(a.v_, kModulus - b.v_));
+  }
+  friend constexpr Fp operator*(Fp a, Fp b) {
+    return from_raw(mul(a.v_, b.v_));
+  }
+  friend constexpr Fp operator-(Fp a) { return from_raw(a.v_ == 0 ? 0 : kModulus - a.v_); }
+
+  Fp& operator+=(Fp o) { return *this = *this + o; }
+  Fp& operator-=(Fp o) { return *this = *this - o; }
+  Fp& operator*=(Fp o) { return *this = *this * o; }
+
+  // Multiplicative inverse via Fermat's little theorem.  Precondition:
+  // *this != 0 (checked; returns 0 for 0 so callers can assert).
+  [[nodiscard]] Fp inverse() const;
+  [[nodiscard]] Fp pow(std::uint64_t e) const;
+
+  friend constexpr bool operator==(Fp a, Fp b) = default;
+  friend constexpr auto operator<=>(Fp a, Fp b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Fp x);
+
+ private:
+  static constexpr Fp from_raw(std::uint64_t v) {
+    Fp x;
+    x.v_ = v;
+    return x;
+  }
+  static constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a + b;
+    return s >= kModulus ? s - kModulus : s;
+  }
+  static constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t p = a * b;  // both < 2^31, so p < 2^62: no overflow
+    // Mersenne reduction: p = hi * 2^31 + lo  =>  p mod (2^31-1) = hi + lo.
+    std::uint64_t r = (p >> 31) + (p & kModulus);
+    if (r >= kModulus) r -= kModulus;
+    return r;
+  }
+  static constexpr std::uint64_t reduce_signed(std::int64_t v) {
+    std::int64_t m = static_cast<std::int64_t>(kModulus);
+    std::int64_t r = v % m;
+    if (r < 0) r += m;
+    return static_cast<std::uint64_t>(r);
+  }
+
+  std::uint64_t v_ = 0;
+};
+
+using FieldVec = std::vector<Fp>;
+
+}  // namespace svss

@@ -1,0 +1,75 @@
+#include "common/polynomial.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace svss {
+
+Polynomial::Polynomial(FieldVec coeffs) : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) coeffs_.resize(1);
+}
+
+Polynomial Polynomial::random_with_constant(Fp constant, int deg, Rng& rng) {
+  FieldVec c(static_cast<std::size_t>(deg) + 1);
+  c[0] = constant;
+  for (int i = 1; i <= deg; ++i) c[static_cast<std::size_t>(i)] = rng.next_field();
+  return Polynomial(std::move(c));
+}
+
+Fp Polynomial::eval(Fp x) const {
+  Fp acc(0);
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = acc * x + *it;
+  }
+  return acc;
+}
+
+FieldVec Polynomial::evaluate_range(int count) const {
+  FieldVec out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int x = 1; x <= count; ++x) out.push_back(eval(Fp(x)));
+  return out;
+}
+
+Polynomial Polynomial::interpolate(
+    const std::vector<std::pair<Fp, Fp>>& points) {
+  if (points.empty()) throw std::invalid_argument("interpolate: no points");
+  const std::size_t k = points.size();
+  // Build coefficients by accumulating Lagrange basis polynomials.
+  FieldVec result(k, Fp(0));
+  FieldVec basis;  // scratch: coefficients of prod (x - x_j) terms
+  for (std::size_t i = 0; i < k; ++i) {
+    basis.assign(1, Fp(1));
+    Fp denom(1);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      // basis *= (x - x_j)
+      basis.push_back(Fp(0));
+      for (std::size_t d = basis.size() - 1; d > 0; --d) {
+        basis[d] = basis[d - 1] - points[j].first * basis[d];
+      }
+      basis[0] = -points[j].first * basis[0];
+      denom *= points[i].first - points[j].first;
+    }
+    if (denom == Fp(0)) throw std::invalid_argument("interpolate: duplicate x");
+    Fp scale = points[i].second * denom.inverse();
+    for (std::size_t d = 0; d < basis.size(); ++d) {
+      result[d] += basis[d] * scale;
+    }
+  }
+  return Polynomial(std::move(result));
+}
+
+std::optional<Polynomial> Polynomial::interpolate_checked(
+    const std::vector<std::pair<Fp, Fp>>& points, int deg) {
+  if (static_cast<int>(points.size()) < deg + 1) return std::nullopt;
+  std::vector<std::pair<Fp, Fp>> head(points.begin(),
+                                      points.begin() + deg + 1);
+  Polynomial p = interpolate(head);
+  for (const auto& [x, y] : points) {
+    if (p.eval(x) != y) return std::nullopt;
+  }
+  return p;
+}
+
+}  // namespace svss

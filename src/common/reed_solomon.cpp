@@ -1,0 +1,157 @@
+#include "common/reed_solomon.hpp"
+
+#include <algorithm>
+
+namespace svss {
+
+namespace {
+
+// Solves A x = b over GF(p) by Gaussian elimination; A is row-major with
+// `cols` unknowns, one row per equation.  Returns any solution (free
+// variables set to 0), or nullopt if inconsistent.
+std::optional<FieldVec> solve_linear(std::vector<FieldVec> rows,
+                                     FieldVec rhs, std::size_t cols) {
+  const std::size_t m = rows.size();
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < m; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < m && rows[pivot][col] == Fp(0)) ++pivot;
+    if (pivot == m) continue;
+    std::swap(rows[pivot], rows[rank]);
+    std::swap(rhs[pivot], rhs[rank]);
+    Fp inv = rows[rank][col].inverse();
+    for (std::size_t c = col; c < cols; ++c) rows[rank][c] *= inv;
+    rhs[rank] *= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == rank || rows[r][col] == Fp(0)) continue;
+      Fp factor = rows[r][col];
+      for (std::size_t c = col; c < cols; ++c) {
+        rows[r][c] -= factor * rows[rank][c];
+      }
+      rhs[r] -= factor * rhs[rank];
+    }
+    pivot_col_of_row.push_back(col);
+    ++rank;
+  }
+  // Inconsistency: a zero row with nonzero rhs.
+  for (std::size_t r = rank; r < m; ++r) {
+    if (rhs[r] != Fp(0)) return std::nullopt;
+  }
+  FieldVec x(cols, Fp(0));
+  for (std::size_t r = 0; r < rank; ++r) {
+    x[pivot_col_of_row[r]] = rhs[r];
+  }
+  return x;
+}
+
+// Divides a by b (polynomial long division).  Returns {quotient,
+// remainder-is-zero}.
+std::pair<Polynomial, bool> divide_exact(const Polynomial& a,
+                                         const Polynomial& b) {
+  FieldVec r = a.coefficients();
+  const FieldVec& d = b.coefficients();
+  int db = static_cast<int>(d.size()) - 1;
+  while (db > 0 && d[static_cast<std::size_t>(db)] == Fp(0)) --db;
+  Fp lead = d[static_cast<std::size_t>(db)];
+  if (lead == Fp(0)) return {Polynomial(), false};
+  Fp lead_inv = lead.inverse();
+  int dr = static_cast<int>(r.size()) - 1;
+  FieldVec q(r.size(), Fp(0));
+  while (dr >= db) {
+    while (dr >= 0 && r[static_cast<std::size_t>(dr)] == Fp(0)) --dr;
+    if (dr < db) break;
+    Fp factor = r[static_cast<std::size_t>(dr)] * lead_inv;
+    q[static_cast<std::size_t>(dr - db)] = factor;
+    for (int i = 0; i <= db; ++i) {
+      r[static_cast<std::size_t>(dr - db + i)] -=
+          factor * d[static_cast<std::size_t>(i)];
+    }
+  }
+  for (Fp c : r) {
+    if (c != Fp(0)) return {Polynomial(), false};
+  }
+  return {Polynomial(std::move(q)), true};
+}
+
+}  // namespace
+
+std::optional<Polynomial> rs_decode(
+    const std::vector<std::pair<Fp, Fp>>& points, int deg, int max_errors) {
+  const int m = static_cast<int>(points.size());
+  if (max_errors < 0 || m < deg + 1 + 2 * max_errors) return std::nullopt;
+  if (max_errors == 0) {
+    return Polynomial::interpolate_checked(points, deg);
+  }
+  // Berlekamp-Welch: find monic E of degree e and Q of degree <= deg + e
+  // with Q(x_i) = y_i * E(x_i) for all i.  Unknowns: e coefficients of E
+  // (E = x^e + e_{e-1} x^{e-1} + ... + e_0) and deg+e+1 coefficients of Q.
+  const int e = max_errors;
+  const std::size_t qn = static_cast<std::size_t>(deg + e + 1);
+  const std::size_t cols = static_cast<std::size_t>(e) + qn;
+  std::vector<FieldVec> rows;
+  FieldVec rhs;
+  rows.reserve(static_cast<std::size_t>(m));
+  for (const auto& [x, y] : points) {
+    FieldVec row(cols, Fp(0));
+    // y * (e_0 + e_1 x + ... + e_{e-1} x^{e-1}) - Q(x) = -y * x^e
+    Fp xp(1);
+    for (int k = 0; k < e; ++k) {
+      row[static_cast<std::size_t>(k)] = y * xp;
+      xp *= x;
+    }
+    rhs.push_back(-(y * xp));  // xp == x^e here
+    Fp xq(1);
+    for (std::size_t k = 0; k < qn; ++k) {
+      row[static_cast<std::size_t>(e) + k] = -xq;
+      xq *= x;
+    }
+    rows.push_back(std::move(row));
+  }
+  auto sol = solve_linear(std::move(rows), std::move(rhs), cols);
+  if (!sol) return std::nullopt;
+  FieldVec ecoef(sol->begin(), sol->begin() + e);
+  ecoef.push_back(Fp(1));  // monic
+  FieldVec qcoef(sol->begin() + e, sol->end());
+  auto [p, exact] = divide_exact(Polynomial(std::move(qcoef)),
+                                 Polynomial(std::move(ecoef)));
+  if (!exact || p.degree_bound() > deg + e) return std::nullopt;
+  // Truncate to degree bound and verify the error budget.
+  FieldVec pc = p.coefficients();
+  for (std::size_t k = static_cast<std::size_t>(deg) + 1; k < pc.size();
+       ++k) {
+    if (pc[k] != Fp(0)) return std::nullopt;
+  }
+  pc.resize(static_cast<std::size_t>(deg) + 1);
+  Polynomial result(std::move(pc));
+  int disagreements = 0;
+  for (const auto& [x, y] : points) {
+    if (result.eval(x) != y) ++disagreements;
+  }
+  if (disagreements > max_errors) return std::nullopt;
+  return result;
+}
+
+std::optional<Polynomial> OnlineDecoder::add_point(Fp x, Fp y) {
+  if (result_) return result_;
+  for (const auto& [px, py] : points_) {
+    if (px == x) return std::nullopt;  // duplicate shareholder
+  }
+  points_.emplace_back(x, y);
+  const int m = static_cast<int>(points_.size());
+  const int c = m - threshold_;  // allowed errors at this point count
+  if (c < 0) return std::nullopt;
+  auto candidate = rs_decode(points_, deg_, c);
+  if (!candidate) return std::nullopt;
+  // OEC soundness check: the candidate must agree with >= threshold
+  // points (which implies agreement with >= threshold - t honest ones).
+  int agree = 0;
+  for (const auto& [px, py] : points_) {
+    if (candidate->eval(px) == py) ++agree;
+  }
+  if (agree < threshold_) return std::nullopt;
+  result_ = std::move(candidate);
+  return result_;
+}
+
+}  // namespace svss

@@ -1,0 +1,57 @@
+// Reed-Solomon decoding over GF(p): Berlekamp-Welch unique decoding and
+// the online error correction (OEC) rule used by asynchronous protocols.
+//
+// A degree-t sharing evaluated at distinct points is a Reed-Solomon
+// codeword; Byzantine shareholders contribute *errors*, crashed ones
+// *erasures*.  Berlekamp-Welch recovers the polynomial from m points with
+// up to e wrong as long as m >= t + 1 + 2e.  The OEC rule turns this into
+// an asynchronous primitive: with points arriving one at a time and at
+// most t of all n = 3t+1 shareholders faulty, attempt decoding with
+// c = m - (2t+1) allowed errors each time a point arrives; any polynomial
+// agreeing with >= 2t+1 of the received points agrees with >= t+1 honest
+// points and is therefore the true one.
+//
+// Used by the ASMPC extension (src/asmpc) for robust output
+// reconstruction; exposed as a standalone substrate with its own tests.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/field.hpp"
+#include "common/polynomial.hpp"
+
+namespace svss {
+
+// Berlekamp-Welch: finds the unique polynomial of degree <= deg agreeing
+// with all but at most `max_errors` of `points` (distinct x required).
+// Returns nullopt if no such polynomial exists or the parameters violate
+// m >= deg + 1 + 2 * max_errors.
+std::optional<Polynomial> rs_decode(
+    const std::vector<std::pair<Fp, Fp>>& points, int deg, int max_errors);
+
+// Incremental online-error-correction decoder for one codeword.
+class OnlineDecoder {
+ public:
+  // deg: polynomial degree bound (t); threshold: required agreement count
+  // (2t+1 in the standard OEC setting).
+  OnlineDecoder(int deg, int threshold) : deg_(deg), threshold_(threshold) {}
+
+  // Adds a point (duplicate x ignored) and re-attempts decoding.  Returns
+  // the decoded polynomial once it exists; stays set afterwards.
+  std::optional<Polynomial> add_point(Fp x, Fp y);
+
+  [[nodiscard]] const std::optional<Polynomial>& result() const {
+    return result_;
+  }
+  [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+
+ private:
+  int deg_;
+  int threshold_;
+  std::vector<std::pair<Fp, Fp>> points_;
+  std::optional<Polynomial> result_;
+};
+
+}  // namespace svss

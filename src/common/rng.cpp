@@ -1,0 +1,5 @@
+#include "common/rng.hpp"
+
+// Header-only; this TU exists so the target has a stable archive member and
+// to catch ODR/compile problems early.
+namespace svss {}

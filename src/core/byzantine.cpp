@@ -1,0 +1,117 @@
+#include "core/byzantine.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+
+namespace svss {
+
+namespace {
+
+void perturb_vals(Message& m, Fp delta) {
+  for (Fp& v : m.vals) v += delta;
+}
+
+// Applies `mutate` to the application message carried by `p` — directly for
+// direct packets, through (de)serialization for the value of the process's
+// own RB phase-1 sends.  Relayed RB traffic (echo/ready for other origins)
+// is left alone unless `mutate_relays` is set.
+template <typename Fn>
+void mutate_packet(Packet& p, int self, Fn&& mutate, bool mutate_relays) {
+  if (!p.is_rb) {
+    mutate(p.app);
+    return;
+  }
+  bool own_send = p.phase == RbPhase::kSend && p.bid.origin == self;
+  if (!own_send && !mutate_relays) return;
+  auto msg = Message::deserialize(p.value);
+  if (!msg) return;
+  mutate(*msg);
+  p.value = msg->serialize();
+}
+
+}  // namespace
+
+Engine::Interceptor make_byzantine_interceptor(const ByzConfig& cfg, int n,
+                                               int t, std::uint64_t seed) {
+  (void)t;
+  switch (cfg.kind) {
+    case ByzKind::kHonest:
+      return nullptr;
+
+    case ByzKind::kSilent:
+      return [](int, int, Packet&) { return false; };
+
+    case ByzKind::kCrashMidway: {
+      auto remaining = std::make_shared<std::uint64_t>(cfg.crash_after);
+      return [remaining](int, int, Packet&) {
+        if (*remaining == 0) return false;
+        --*remaining;
+        return true;
+      };
+    }
+
+    case ByzKind::kEquivocate:
+      // Different halves of the system see shares shifted by different
+      // amounts — a split-view dealer/confirmer.  RB equivocation is also
+      // exercised: the phase-1 value of its own broadcasts diverges.
+      return [n](int from, int to, Packet& p) {
+        if (to < n / 2) return true;
+        mutate_packet(
+            p, from, [](Message& m) { perturb_vals(m, Fp(1)); },
+            /*mutate_relays=*/false);
+        return true;
+      };
+
+    case ByzKind::kWrongRecon:
+      return [](int from, int to, Packet& p) {
+        (void)to;
+        mutate_packet(
+            p, from,
+            [](Message& m) {
+              if (m.type == MsgType::kMwReconVal) perturb_vals(m, Fp(1));
+            },
+            /*mutate_relays=*/false);
+        return true;
+      };
+
+    case ByzKind::kLyingModerator:
+      return [](int from, int to, Packet& p) {
+        (void)to;
+        mutate_packet(
+            p, from,
+            [](Message& m) {
+              if (m.type == MsgType::kMwMonitorVal) perturb_vals(m, Fp(1));
+              if (m.type == MsgType::kMwMset && !m.ints.empty()) {
+                // Rotate the accepted-monitor set by one: a plausible but
+                // wrong commitment.
+                m.ints[0] = (m.ints[0] + 1) % 2;
+              }
+            },
+            /*mutate_relays=*/false);
+        return true;
+      };
+
+    case ByzKind::kBitFlip: {
+      auto rng = std::make_shared<Rng>(seed);
+      double prob = cfg.flip_prob;
+      return [rng, prob](int from, int to, Packet& p) {
+        (void)to;
+        mutate_packet(
+            p, from,
+            [&](Message& m) {
+              for (Fp& v : m.vals) {
+                if (rng->next_unit() < prob) v += Fp(1 + static_cast<int>(
+                                                       rng->next_below(7)));
+              }
+            },
+            /*mutate_relays=*/true);
+        return true;
+      };
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace svss

@@ -1,0 +1,42 @@
+// Byzantine behaviour library.
+//
+// A faulty process runs the honest Node code with a wire interceptor that
+// rewrites its outbound packets per recipient ("honest code, corrupted
+// wire").  This covers the attack classes the paper's proofs quantify
+// over — equivocating dealers, wrong reconstruction values, lying
+// moderators, crashes — while keeping a single protocol implementation.
+// Interceptors compose with adversarial schedulers (sim/scheduler.hpp),
+// which control delivery order.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace svss {
+
+enum class ByzKind {
+  kHonest,          // no interference
+  kSilent,          // crashed from the start: sends nothing
+  kCrashMidway,     // sends the first `crash_after` packets, then nothing
+  kEquivocate,      // sends perturbed field values to the upper half of
+                    // the process ids (split-view dealer/confirmer)
+  kWrongRecon,      // corrupts its MW-SVSS reconstruct broadcasts — the
+                    // attack DMM rules 2-3 are built to catch
+  kLyingModerator,  // corrupts its monitor values and M-set broadcasts
+  kBitFlip,         // flips each outbound field value with probability
+                    // `flip_prob` (protocol-grammar fuzzing)
+};
+
+struct ByzConfig {
+  ByzKind kind = ByzKind::kHonest;
+  std::uint64_t crash_after = 200;  // kCrashMidway
+  double flip_prob = 0.05;          // kBitFlip
+};
+
+// Builds the outbound interceptor implementing `cfg` for a process in an
+// (n, t) system.  `seed` makes randomized strategies reproducible.
+Engine::Interceptor make_byzantine_interceptor(const ByzConfig& cfg, int n,
+                                               int t, std::uint64_t seed);
+
+}  // namespace svss

@@ -1,0 +1,370 @@
+#include "core/node.hpp"
+
+namespace svss {
+
+Node::Node(int self, int n, int t)
+    : self_(self), n_(n), t_(t),
+      rbc_([this](Context& ctx, int origin, const Message& m) {
+        // Accepted broadcasts re-enter routing with the origin as sender;
+        // the VSS layers' DMM filter applies the session-ordered discard.
+        route_app(ctx, origin, m, /*via_rb=*/true);
+      }),
+      dmm_(Dmm::Hooks{
+          /*on_shun=*/nullptr,
+          /*redeliver=*/
+          [this](Context& ctx, int from, const Message& m, bool via_rb) {
+            route_app(ctx, from, m, via_rb);
+          },
+      }) {}
+
+void Node::start(Context& ctx) {
+  if (start_action_) start_action_(ctx, *this);
+}
+
+void Node::on_packet(Context& ctx, int from, const Packet& p) {
+  if (p.is_rb) {
+    rbc_.on_transport(ctx, from, p);
+    return;
+  }
+  route_app(ctx, from, p.app, /*via_rb=*/false);
+}
+
+bool Node::sane_sid(const SessionId& sid) const {
+  auto pid_ok = [this](int p) { return p >= 0 && p < n_; };
+  switch (sid.path) {
+    case SessionPath::kMwTop:
+      return pid_ok(sid.owner) && pid_ok(sid.moderator) &&
+             sid.owner != sid.moderator;
+    case SessionPath::kMwInSvssTop:
+    case SessionPath::kMwInSvssCoin:
+      return pid_ok(sid.owner) && pid_ok(sid.moderator) &&
+             pid_ok(sid.svss_dealer) && sid.owner != sid.moderator &&
+             sid.variant <= 1;
+    case SessionPath::kSvssTop:
+    case SessionPath::kSvssCoin:
+      return pid_ok(sid.owner);
+    case SessionPath::kCoin:
+    case SessionPath::kAba:
+    case SessionPath::kTest:
+      return true;
+  }
+  return false;
+}
+
+void Node::route_app(Context& ctx, int sender, const Message& m,
+                     bool via_rb) {
+  if (!sane_sid(m.sid)) return;
+  switch (m.sid.path) {
+    case SessionPath::kMwTop:
+    case SessionPath::kMwInSvssTop:
+    case SessionPath::kMwInSvssCoin: {
+      if (!dmm_.filter(ctx, sender, m, via_rb)) return;
+      if (via_rb && m.type == MsgType::kMwReconVal && m.vals.size() == 1 &&
+          m.a >= 0 && m.a < n_) {
+        // DMM rules 2-3: resolve or violate reconstruction expectations
+        // before the session acts on the value.
+        if (!dmm_.on_recon_value(ctx, sender, m.sid, m.a, m.vals[0])) return;
+      }
+      MwSvssSession& s = mw(ctx, m.sid);
+      if (via_rb) {
+        s.on_broadcast(ctx, sender, m);
+      } else {
+        s.on_direct(ctx, sender, m);
+      }
+      return;
+    }
+    case SessionPath::kSvssTop:
+    case SessionPath::kSvssCoin: {
+      if (!dmm_.filter(ctx, sender, m, via_rb)) return;
+      SvssSession& s = svss(ctx, m.sid);
+      if (via_rb) {
+        s.on_broadcast(ctx, sender, m);
+      } else {
+        s.on_direct(ctx, sender, m);
+      }
+      return;
+    }
+    case SessionPath::kCoin:
+      if (via_rb && m.sid.counter <= kMaxN * kMaxN) {
+        coin(ctx, m.sid.counter).on_broadcast(ctx, sender, m);
+      }
+      return;
+    case SessionPath::kAba: {
+      // variant 0 = the SVSS-coin agreement protocol; variant 1 = the
+      // Ben-Or baseline (separate message space).
+      if (m.sid.variant == 1) {
+        if (benor_ && !via_rb) benor_->on_direct(ctx, sender, m);
+        return;
+      }
+      if (m.sid.variant == 2) {
+        if (!via_rb) return;
+        if (acs_) {
+          acs_->on_broadcast(ctx, sender, m);
+        } else {
+          pending_acs_.emplace_back(sender, m);
+        }
+        return;
+      }
+      if (m.sid.variant == 3) {
+        if (!via_rb) return;
+        if (sum_) {
+          sum_->on_broadcast(ctx, sender, m);
+        } else {
+          pending_sum_.emplace_back(sender, m);
+        }
+        return;
+      }
+      // Create the instance lazily with the node's configured coin: ACS
+      // instances receive peer votes before this process provides input.
+      AbaSession& session = aba_instance(m.sid.counter);
+      if (via_rb) {
+        session.on_broadcast(ctx, sender, m);
+      } else {
+        session.on_direct(ctx, sender, m);
+      }
+      return;
+    }
+    case SessionPath::kTest:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Session access
+// ---------------------------------------------------------------------
+MwSvssSession& Node::mw(Context& ctx, const SessionId& sid) {
+  (void)ctx;
+  auto it = mw_.find(sid);
+  if (it == mw_.end()) {
+    it = mw_.emplace(sid, std::make_unique<MwSvssSession>(*this, sid, self_,
+                                                          n_, t_))
+             .first;
+  }
+  return *it->second;
+}
+
+SvssSession& Node::svss(Context& ctx, const SessionId& sid) {
+  (void)ctx;
+  auto it = svss_.find(sid);
+  if (it == svss_.end()) {
+    it = svss_.emplace(sid, std::make_unique<SvssSession>(*this, sid, self_,
+                                                          n_, t_))
+             .first;
+  }
+  return *it->second;
+}
+
+CoinSession& Node::coin(Context& ctx, std::uint32_t round) {
+  (void)ctx;
+  auto it = coins_.find(round);
+  if (it == coins_.end()) {
+    it = coins_.emplace(round, std::make_unique<CoinSession>(*this, round,
+                                                             self_, n_, t_))
+             .first;
+  }
+  return *it->second;
+}
+
+void Node::start_aba(Context& ctx, int input, CoinMode mode,
+                     std::uint64_t common_seed, std::uint32_t instance) {
+  aba_mode_ = mode;
+  aba_seed_ = common_seed;
+  aba_instance(instance).start(ctx, input);
+}
+
+AbaSession& Node::aba_instance(std::uint32_t instance) {
+  auto it = abas_.find(instance);
+  if (it == abas_.end()) {
+    it = abas_.emplace(instance,
+                       std::make_unique<AbaSession>(*this, self_, n_, t_,
+                                                    aba_mode_, aba_seed_,
+                                                    instance))
+             .first;
+  }
+  return *it->second;
+}
+
+void Node::start_acs(Context& ctx, Bytes proposal, CoinMode mode,
+                     std::uint64_t common_seed) {
+  aba_mode_ = mode;
+  aba_seed_ = common_seed;
+  if (!acs_) {
+    acs_ = std::make_unique<AcsSession>(*this, self_, n_, t_);
+    for (auto& [sender, m] : pending_acs_) acs_->on_broadcast(ctx, sender, m);
+    pending_acs_.clear();
+  }
+  acs_->start(ctx, std::move(proposal));
+}
+
+void Node::start_secure_sum(Context& ctx, Fp input, CoinMode mode,
+                            std::uint64_t common_seed) {
+  aba_mode_ = mode;
+  aba_seed_ = common_seed;
+  if (!sum_) {
+    sum_ = std::make_unique<SecureSumSession>(*this, self_, n_, t_);
+  }
+  sum_->start(ctx, input);
+  for (auto& [sender, m] : pending_sum_) sum_->on_broadcast(ctx, sender, m);
+  pending_sum_.clear();
+}
+
+void Node::sum_start_acs(Context& ctx, Bytes proposal) {
+  if (!acs_) {
+    // The secure-sum ACS vouches on share completion, not on proposals,
+    // and does not gate its output on proposal payloads.
+    acs_ = std::make_unique<AcsSession>(
+        *this, self_, n_, t_,
+        AcsOptions{/*vouch_on_proposal=*/false, /*require_proposals=*/false});
+    for (auto& [sender, m] : pending_acs_) acs_->on_broadcast(ctx, sender, m);
+    pending_acs_.clear();
+  }
+  acs_->start(ctx, std::move(proposal));
+}
+
+void Node::sum_vouch(Context& ctx, int dealer) {
+  if (acs_) acs_->mark_ready(ctx, dealer);
+}
+
+void Node::start_mvba(Context& ctx, Fp proposal, Fp default_value,
+                      CoinMode mode, std::uint64_t common_seed) {
+  aba_mode_ = mode;
+  aba_seed_ = common_seed;
+  if (!mvba_) {
+    mvba_ = std::make_unique<MvbaSession>(*this, self_, n_, t_,
+                                          default_value);
+  }
+  mvba_->start(ctx, proposal);
+}
+
+void Node::mvba_start_acs(Context& ctx, Bytes proposal) {
+  if (!acs_) {
+    acs_ = std::make_unique<AcsSession>(*this, self_, n_, t_);
+    for (auto& [sender, m] : pending_acs_) acs_->on_broadcast(ctx, sender, m);
+    pending_acs_.clear();
+  }
+  acs_->start(ctx, std::move(proposal));
+}
+
+SvssSession& Node::sum_svss(Context& ctx, const SessionId& sid) {
+  return svss(ctx, sid);
+}
+
+void Node::acs_completed(Context& ctx,
+                         const std::vector<std::pair<int, Bytes>>& subset) {
+  if (sum_) sum_->on_acs_output(ctx, subset);
+  if (mvba_) mvba_->on_acs_output(ctx, subset);
+}
+
+void Node::acs_start_aba(Context& ctx, std::uint32_t instance, int input) {
+  aba_instance(instance).start(ctx, input);
+}
+
+AbaSession* Node::aba(std::uint32_t instance) {
+  auto it = abas_.find(instance);
+  return it == abas_.end() ? nullptr : it->second.get();
+}
+
+const AbaSession* Node::aba(std::uint32_t instance) const {
+  auto it = abas_.find(instance);
+  return it == abas_.end() ? nullptr : it->second.get();
+}
+
+void Node::start_benor(Context& ctx, int input) {
+  if (!benor_) {
+    benor_ = std::make_unique<BenOrSession>(
+        [this](Context& c, int to, Message m) {
+          send_direct(c, to, std::move(m));
+        },
+        self_, n_, t_);
+  }
+  benor_->start(ctx, input);
+}
+
+const MwSvssSession* Node::find_mw(const SessionId& sid) const {
+  auto it = mw_.find(sid);
+  return it == mw_.end() ? nullptr : it->second.get();
+}
+
+const SvssSession* Node::find_svss(const SessionId& sid) const {
+  auto it = svss_.find(sid);
+  return it == svss_.end() ? nullptr : it->second.get();
+}
+
+const CoinSession* Node::find_coin(std::uint32_t round) const {
+  auto it = coins_.find(round);
+  return it == coins_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------
+// Host plumbing
+// ---------------------------------------------------------------------
+void Node::rb_broadcast(Context& ctx, const Message& m) {
+  rbc_.broadcast(ctx, m);
+}
+
+void Node::send_direct(Context& ctx, int to, Message m) {
+  ctx.send(to, make_direct(std::move(m)));
+}
+
+MwSvssSession& Node::mw_child(Context& ctx, const SessionId& child) {
+  return mw(ctx, child);
+}
+
+SvssSession& Node::svss_child(Context& ctx, const SessionId& sid) {
+  return svss(ctx, sid);
+}
+
+void Node::mw_share_completed(Context& ctx, const SessionId& sid) {
+  if (auto parent = parent_session(sid)) {
+    svss(ctx, *parent).on_child_share_complete(ctx, sid);
+  }
+  if (observers.mw_share_complete) observers.mw_share_complete(ctx, sid);
+}
+
+void Node::mw_recon_output(Context& ctx, const SessionId& sid,
+                           std::optional<Fp> value) {
+  if (auto parent = parent_session(sid)) {
+    svss(ctx, *parent).on_child_output(ctx, sid, value);
+  }
+  if (observers.mw_output) observers.mw_output(ctx, sid, value);
+  if (auto it = mw_.find(sid); it != mw_.end()) it->second->compact();
+}
+
+void Node::svss_share_completed(Context& ctx, const SessionId& sid) {
+  if (sid.path == SessionPath::kSvssCoin) {
+    coin(ctx, sid.counter / kMaxN).on_child_share_complete(ctx, sid);
+  }
+  if (sum_ && sid.path == SessionPath::kSvssTop &&
+      sid.counter >= kSumCounterBase) {
+    sum_->on_input_share_complete(ctx, sid);
+  }
+  if (observers.svss_share_complete) observers.svss_share_complete(ctx, sid);
+}
+
+void Node::svss_recon_output(Context& ctx, const SessionId& sid,
+                             std::optional<Fp> value) {
+  if (sid.path == SessionPath::kSvssCoin) {
+    coin(ctx, sid.counter / kMaxN).on_child_output(ctx, sid, value);
+  }
+  if (observers.svss_output) observers.svss_output(ctx, sid, value);
+}
+
+void Node::coin_output(Context& ctx, std::uint32_t round, int bit) {
+  auto it = abas_.find(round / kCoinRoundsPerInstance);
+  if (it != abas_.end()) it->second->on_coin(ctx, round, bit);
+  if (observers.coin_output) observers.coin_output(ctx, round, bit);
+}
+
+void Node::start_coin(Context& ctx, std::uint32_t round) {
+  coin(ctx, round).start(ctx);
+}
+
+void Node::aba_decided(Context& ctx, int value, std::uint32_t round,
+                       std::uint32_t instance) {
+  if (acs_) acs_->on_aba_decided(ctx, instance, value);
+  if (instance == 0 && observers.aba_decided) {
+    observers.aba_decided(ctx, value, round);
+  }
+}
+
+}  // namespace svss

@@ -1,0 +1,394 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace svss {
+
+SessionId mw_top_id(std::uint32_t c, int dealer, int moderator) {
+  SessionId sid;
+  sid.path = SessionPath::kMwTop;
+  sid.owner = static_cast<std::int16_t>(dealer);
+  sid.moderator = static_cast<std::int16_t>(moderator);
+  sid.counter = c;
+  return sid;
+}
+
+SessionId svss_top_id(std::uint32_t c, int dealer) {
+  SessionId sid;
+  sid.path = SessionPath::kSvssTop;
+  sid.owner = static_cast<std::int16_t>(dealer);
+  sid.counter = c;
+  return sid;
+}
+
+Runner::Runner(RunnerConfig cfg)
+    : cfg_(cfg),
+      engine_(cfg.n, cfg.t, cfg.seed,
+              make_scheduler(cfg.scheduler, cfg.seed ^ 0x5C4EDULL, cfg.n,
+                             cfg.t)) {
+  nodes_.resize(static_cast<std::size_t>(cfg_.n));
+  for (int i = 0; i < cfg_.n; ++i) {
+    auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t);
+    nodes_[static_cast<std::size_t>(i)] = node.get();
+    engine_.set_process(i, std::move(node));
+    auto fit = cfg_.faults.find(i);
+    if (fit != cfg_.faults.end() && fit->second.kind != ByzKind::kHonest) {
+      engine_.set_interceptor(
+          i, make_byzantine_interceptor(fit->second, cfg_.n, cfg_.t,
+                                        cfg_.seed * 1315423911ULL +
+                                            static_cast<std::uint64_t>(i)));
+    }
+  }
+}
+
+Node& Runner::node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+
+bool Runner::is_honest(int i) const {
+  auto it = cfg_.faults.find(i);
+  return it == cfg_.faults.end() || it->second.kind == ByzKind::kHonest;
+}
+
+std::vector<int> Runner::honest_ids() const {
+  std::vector<int> out;
+  for (int i = 0; i < cfg_.n; ++i) {
+    if (is_honest(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> Runner::honest_shun_pairs() const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& [i, j] : engine_.log().shun_pairs()) {
+    if (is_honest(i)) out.emplace_back(i, j);
+  }
+  return out;
+}
+
+RunStatus Runner::run_until_honest(
+    const std::function<bool(const Node&)>& pred) {
+  return engine_.run_until(
+      [this, &pred] {
+        for (int i : honest_ids()) {
+          if (!pred(node(i))) return false;
+        }
+        return true;
+      },
+      cfg_.max_deliveries);
+}
+
+// ---------------------------------------------------------------------
+// MW-SVSS
+// ---------------------------------------------------------------------
+Runner::MwResult Runner::run_mwsvss(Fp secret, Fp moderator_input, int dealer,
+                                    int moderator, bool reconstruct) {
+  SessionId sid = mw_top_id(1, dealer, moderator);
+  node(dealer).set_start_action([sid, secret](Context& c, Node& nd) {
+    nd.mw(c, sid).deal(c, secret);
+  });
+  if (moderator != dealer) {
+    node(moderator).set_start_action(
+        [sid, moderator_input](Context& c, Node& nd) {
+          nd.mw(c, sid).set_moderator_input(c, moderator_input);
+        });
+  }
+
+  MwResult res;
+  res.status = run_until_honest([&](const Node& nd) {
+    const MwSvssSession* s = nd.find_mw(sid);
+    return s != nullptr && s->share_complete();
+  });
+  res.all_honest_shared = true;
+  for (int i : honest_ids()) {
+    const MwSvssSession* s = node(i).find_mw(sid);
+    if (s == nullptr || !s->share_complete()) res.all_honest_shared = false;
+  }
+
+  if (reconstruct && res.all_honest_shared) {
+    // Every process that completed the share phase enters R' — including
+    // Byzantine ones, which run the honest code behind a corrupted wire.
+    for (int i = 0; i < cfg_.n; ++i) {
+      const MwSvssSession* s = node(i).find_mw(sid);
+      if (s == nullptr || !s->share_complete()) continue;
+      Context c = ctx(i);
+      node(i).mw(c, sid).start_reconstruct(c);
+    }
+    res.status = run_until_honest([&](const Node& nd) {
+      const MwSvssSession* s = nd.find_mw(sid);
+      return s != nullptr && s->has_output();
+    });
+    res.all_honest_output = true;
+    for (int i : honest_ids()) {
+      const MwSvssSession* s = node(i).find_mw(sid);
+      if (s != nullptr && s->has_output()) {
+        res.outputs.emplace(i, s->output());
+      } else {
+        res.all_honest_output = false;
+      }
+    }
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// SVSS
+// ---------------------------------------------------------------------
+Runner::SvssResult Runner::run_svss(Fp secret, int dealer, bool reconstruct) {
+  SessionId sid = svss_top_id(1, dealer);
+  node(dealer).set_start_action([sid, secret](Context& c, Node& nd) {
+    nd.svss(c, sid).deal(c, secret);
+  });
+
+  SvssResult res;
+  res.status = run_until_honest([&](const Node& nd) {
+    const SvssSession* s = nd.find_svss(sid);
+    return s != nullptr && s->share_complete();
+  });
+  res.all_honest_shared = true;
+  for (int i : honest_ids()) {
+    const SvssSession* s = node(i).find_svss(sid);
+    if (s == nullptr || !s->share_complete()) res.all_honest_shared = false;
+  }
+
+  if (reconstruct && res.all_honest_shared) {
+    for (int i = 0; i < cfg_.n; ++i) {
+      const SvssSession* s = node(i).find_svss(sid);
+      if (s == nullptr || !s->share_complete()) continue;
+      Context c = ctx(i);
+      node(i).svss(c, sid).start_reconstruct(c);
+    }
+    res.status = run_until_honest([&](const Node& nd) {
+      const SvssSession* s = nd.find_svss(sid);
+      return s != nullptr && s->has_output();
+    });
+    res.all_honest_output = true;
+    for (int i : honest_ids()) {
+      const SvssSession* s = node(i).find_svss(sid);
+      if (s != nullptr && s->has_output()) {
+        res.outputs.emplace(i, s->output());
+      } else {
+        res.all_honest_output = false;
+      }
+    }
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// Common coin
+// ---------------------------------------------------------------------
+Runner::CoinResult Runner::run_coin(std::uint32_t round) {
+  for (int i = 0; i < cfg_.n; ++i) {
+    node(i).set_start_action([round](Context& c, Node& nd) {
+      nd.coin(c, round).start(c);
+    });
+  }
+  CoinResult res;
+  res.status = run_until_honest([&](const Node& nd) {
+    const CoinSession* cs = nd.find_coin(round);
+    return cs != nullptr && cs->has_output();
+  });
+  res.all_output = true;
+  for (int i : honest_ids()) {
+    const CoinSession* cs = node(i).find_coin(round);
+    if (cs != nullptr && cs->has_output()) {
+      res.bits.emplace(i, cs->output());
+    } else {
+      res.all_output = false;
+    }
+  }
+  res.agreed = res.all_output && !res.bits.empty();
+  for (const auto& [i, b] : res.bits) {
+    if (b != res.bits.begin()->second) res.agreed = false;
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// Agreement
+// ---------------------------------------------------------------------
+Runner::AbaResult Runner::run_aba(const std::vector<int>& inputs,
+                                  CoinMode mode) {
+  if (static_cast<int>(inputs.size()) != cfg_.n) {
+    throw std::invalid_argument("run_aba: need one input per process");
+  }
+  std::uint64_t coin_seed = cfg_.seed ^ 0xC01Full;
+  for (int i = 0; i < cfg_.n; ++i) {
+    int input = inputs[static_cast<std::size_t>(i)];
+    node(i).set_start_action([input, mode, coin_seed](Context& c, Node& nd) {
+      nd.start_aba(c, input, mode, coin_seed);
+    });
+  }
+  AbaResult res;
+  res.status = run_until_honest([](const Node& nd) {
+    return nd.aba() != nullptr && nd.aba()->decided();
+  });
+  res.all_decided = true;
+  for (int i : honest_ids()) {
+    const AbaSession* a = node(i).aba();
+    if (a != nullptr && a->decided()) {
+      res.decisions.emplace(i, a->decision());
+      res.decision_rounds.emplace(i, a->decision_round());
+      res.max_round = std::max(res.max_round, a->decision_round());
+    } else {
+      res.all_decided = false;
+    }
+  }
+  res.agreed = res.all_decided && !res.decisions.empty();
+  if (!res.decisions.empty()) res.value = res.decisions.begin()->second;
+  for (const auto& [i, v] : res.decisions) {
+    if (v != res.value) res.agreed = false;
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+Runner::AbaResult Runner::run_benor(const std::vector<int>& inputs) {
+  if (static_cast<int>(inputs.size()) != cfg_.n) {
+    throw std::invalid_argument("run_benor: need one input per process");
+  }
+  for (int i = 0; i < cfg_.n; ++i) {
+    int input = inputs[static_cast<std::size_t>(i)];
+    node(i).set_start_action([input](Context& c, Node& nd) {
+      nd.start_benor(c, input);
+    });
+  }
+  AbaResult res;
+  res.status = run_until_honest([](const Node& nd) {
+    return nd.benor() != nullptr && nd.benor()->decided();
+  });
+  res.all_decided = true;
+  for (int i : honest_ids()) {
+    const BenOrSession* b = node(i).benor();
+    if (b != nullptr && b->decided()) {
+      res.decisions.emplace(i, b->decision());
+      res.decision_rounds.emplace(i, b->decision_round());
+      res.max_round = std::max(res.max_round, b->decision_round());
+    } else {
+      res.all_decided = false;
+    }
+  }
+  res.agreed = res.all_decided && !res.decisions.empty();
+  if (!res.decisions.empty()) res.value = res.decisions.begin()->second;
+  for (const auto& [i, v] : res.decisions) {
+    if (v != res.value) res.agreed = false;
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+// ---------------------------------------------------------------------
+// Common subset / secure sum extensions
+// ---------------------------------------------------------------------
+Runner::AcsResult Runner::run_acs(const std::vector<Bytes>& proposals,
+                                  CoinMode mode) {
+  if (static_cast<int>(proposals.size()) != cfg_.n) {
+    throw std::invalid_argument("run_acs: need one proposal per process");
+  }
+  std::uint64_t coin_seed = cfg_.seed ^ 0xAC5ull;
+  for (int i = 0; i < cfg_.n; ++i) {
+    Bytes proposal = proposals[static_cast<std::size_t>(i)];
+    node(i).set_start_action(
+        [proposal, mode, coin_seed](Context& c, Node& nd) {
+          nd.start_acs(c, proposal, mode, coin_seed);
+        });
+  }
+  AcsResult res;
+  res.status = run_until_honest([](const Node& nd) {
+    return nd.acs() != nullptr && nd.acs()->has_output();
+  });
+  res.all_output = true;
+  for (int i : honest_ids()) {
+    const AcsSession* a = node(i).acs();
+    if (a != nullptr && a->has_output()) {
+      res.outputs.emplace(i, a->output());
+    } else {
+      res.all_output = false;
+    }
+  }
+  res.agreed = res.all_output && !res.outputs.empty();
+  for (const auto& [i, out] : res.outputs) {
+    if (!(out == res.outputs.begin()->second)) res.agreed = false;
+  }
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+Runner::MvbaResult Runner::run_mvba(const std::vector<Fp>& proposals,
+                                    Fp default_value, CoinMode mode) {
+  if (static_cast<int>(proposals.size()) != cfg_.n) {
+    throw std::invalid_argument("run_mvba: need one proposal per process");
+  }
+  std::uint64_t coin_seed = cfg_.seed ^ 0x3BAull;
+  for (int i = 0; i < cfg_.n; ++i) {
+    Fp proposal = proposals[static_cast<std::size_t>(i)];
+    node(i).set_start_action(
+        [proposal, default_value, mode, coin_seed](Context& c, Node& nd) {
+          nd.start_mvba(c, proposal, default_value, mode, coin_seed);
+        });
+  }
+  MvbaResult res;
+  res.status = run_until_honest([](const Node& nd) {
+    return nd.mvba() != nullptr && nd.mvba()->decided();
+  });
+  res.all_decided = true;
+  for (int i : honest_ids()) {
+    const MvbaSession* s = node(i).mvba();
+    if (s != nullptr && s->decided()) {
+      res.decisions.emplace(i, s->decision().value());
+    } else {
+      res.all_decided = false;
+    }
+  }
+  res.agreed = res.all_decided && !res.decisions.empty();
+  if (!res.decisions.empty()) res.value = res.decisions.begin()->second;
+  for (const auto& [i, v] : res.decisions) {
+    if (v != res.value) res.agreed = false;
+  }
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+Runner::SumResult Runner::run_secure_sum(const std::vector<Fp>& inputs,
+                                         CoinMode mode) {
+  if (static_cast<int>(inputs.size()) != cfg_.n) {
+    throw std::invalid_argument("run_secure_sum: need one input per process");
+  }
+  std::uint64_t coin_seed = cfg_.seed ^ 0x50Cull;
+  for (int i = 0; i < cfg_.n; ++i) {
+    Fp input = inputs[static_cast<std::size_t>(i)];
+    node(i).set_start_action([input, mode, coin_seed](Context& c, Node& nd) {
+      nd.start_secure_sum(c, input, mode, coin_seed);
+    });
+  }
+  SumResult res;
+  res.status = run_until_honest([](const Node& nd) {
+    return nd.secure_sum() != nullptr && nd.secure_sum()->has_output();
+  });
+  res.all_output = true;
+  for (int i : honest_ids()) {
+    const SecureSumSession* s = node(i).secure_sum();
+    if (s != nullptr && s->has_output()) {
+      res.outputs.emplace(i, s->output().value());
+    } else {
+      res.all_output = false;
+    }
+    if (s != nullptr && s->core()) res.cores.emplace(i, *s->core());
+  }
+  res.agreed = res.all_output && !res.outputs.empty();
+  for (const auto& [i, out] : res.outputs) {
+    if (out != res.outputs.begin()->second) res.agreed = false;
+  }
+  res.metrics = engine_.metrics();
+  return res;
+}
+
+}  // namespace svss

@@ -1,0 +1,151 @@
+// core::Runner — reproducible end-to-end experiment harness.
+//
+// A Runner assembles an Engine with n Nodes, installs Byzantine wire
+// interceptors for the configured faulty processes, and exposes canned
+// experiment drivers for every layer of the stack: one MW-SVSS session,
+// one SVSS session, one common-coin round, and full agreement runs (the
+// paper's protocol plus the Bracha-local-coin and Ben-Or baselines).
+// Every run is a pure function of the config, so any interesting outcome
+// can be replayed from its seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/byzantine.hpp"
+#include "core/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace svss {
+
+struct RunnerConfig {
+  int n = 4;
+  int t = 1;  // resilience parameter used by the protocol logic
+  std::uint64_t seed = 1;
+  SchedulerKind scheduler = SchedulerKind::kRandom;
+  std::map<int, ByzConfig> faults;  // id -> behaviour (absent == honest)
+  std::uint64_t max_deliveries = 50'000'000;
+};
+
+// Canonical session ids for top-level invocations.
+SessionId mw_top_id(std::uint32_t c, int dealer, int moderator);
+SessionId svss_top_id(std::uint32_t c, int dealer);
+
+class Runner {
+ public:
+  explicit Runner(RunnerConfig cfg);
+
+  Engine& engine() { return engine_; }
+  Node& node(int i);
+  Context ctx(int i) { return Context(engine_, i); }
+  [[nodiscard]] bool is_honest(int i) const;
+  [[nodiscard]] std::vector<int> honest_ids() const;
+  [[nodiscard]] const RunnerConfig& config() const { return cfg_; }
+
+  // ------------------------------------------------------------------
+  // Layer experiment drivers
+  // ------------------------------------------------------------------
+  struct MwResult {
+    bool all_honest_shared = false;
+    bool all_honest_output = false;
+    std::map<int, std::optional<Fp>> outputs;  // honest only
+    std::vector<std::pair<int, int>> shun_pairs;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  // Runs one MW-SVSS session: dealer deals `secret`, the moderator's input
+  // is `moderator_input`; reconstruction starts once every honest process
+  // finished the share phase (if requested and sharing succeeded).
+  MwResult run_mwsvss(Fp secret, Fp moderator_input, int dealer = 0,
+                      int moderator = 1, bool reconstruct = true);
+
+  struct SvssResult {
+    bool all_honest_shared = false;
+    bool all_honest_output = false;
+    std::map<int, std::optional<Fp>> outputs;
+    std::vector<std::pair<int, int>> shun_pairs;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  SvssResult run_svss(Fp secret, int dealer = 0, bool reconstruct = true);
+
+  struct CoinResult {
+    std::map<int, int> bits;  // honest only
+    bool all_output = false;
+    bool agreed = false;
+    std::vector<std::pair<int, int>> shun_pairs;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  CoinResult run_coin(std::uint32_t round = 1);
+
+  struct AbaResult {
+    std::map<int, int> decisions;  // honest only
+    std::map<int, std::uint32_t> decision_rounds;
+    bool all_decided = false;
+    bool agreed = false;
+    int value = -1;
+    std::uint32_t max_round = 0;
+    std::vector<std::pair<int, int>> shun_pairs;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  // inputs.size() must be n; faulty inputs are fed to the (tampered) nodes
+  // as well.
+  AbaResult run_aba(const std::vector<int>& inputs,
+                    CoinMode mode = CoinMode::kSvss);
+  AbaResult run_benor(const std::vector<int>& inputs);
+
+  struct AcsResult {
+    std::map<int, std::vector<std::pair<int, Bytes>>> outputs;  // honest
+    bool all_output = false;
+    bool agreed = false;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  // Agreement on a common subset; proposals.size() must be n.
+  AcsResult run_acs(const std::vector<Bytes>& proposals,
+                    CoinMode mode = CoinMode::kIdealCommon);
+
+  struct MvbaResult {
+    std::map<int, std::uint64_t> decisions;  // honest only
+    bool all_decided = false;
+    bool agreed = false;
+    std::uint64_t value = 0;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  // Multivalued agreement (Turpin-Coan); proposals.size() must be n.
+  MvbaResult run_mvba(const std::vector<Fp>& proposals, Fp default_value,
+                      CoinMode mode = CoinMode::kIdealCommon);
+
+  struct SumResult {
+    std::map<int, std::uint64_t> outputs;  // honest only
+    std::map<int, std::set<int>> cores;    // agreed input providers
+    bool all_output = false;
+    bool agreed = false;
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  // ASMPC secure sum; inputs.size() must be n.
+  SumResult run_secure_sum(const std::vector<Fp>& inputs,
+                           CoinMode mode = CoinMode::kIdealCommon);
+
+  // Shun events observed by honest processes (a Byzantine node running the
+  // honest code can "detect" its own tampered traffic; those events are
+  // noise and are filtered out of results).
+  [[nodiscard]] std::vector<std::pair<int, int>> honest_shun_pairs() const;
+
+ private:
+  RunStatus run_until_honest(const std::function<bool(const Node&)>& pred);
+
+  RunnerConfig cfg_;
+  Engine engine_;
+  std::vector<Node*> nodes_;  // borrowed from engine-owned processes
+};
+
+}  // namespace svss

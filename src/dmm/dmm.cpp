@@ -1,0 +1,232 @@
+#include "dmm/dmm.hpp"
+
+#include <algorithm>
+
+namespace svss {
+
+bool Dmm::filter(Context& ctx, int from, const Message& m, bool via_rb) {
+  (void)ctx;
+  if (discard_applies(from, m.sid)) return false;  // rule 4: discard
+  if (is_blocked(from, m.sid)) {                   // rule 5: delay
+    delayed_[from].push_back(Delayed{from, via_rb, m});
+    return false;
+  }
+  return true;
+}
+
+bool Dmm::discard_applies(int j, const SessionId& s) const {
+  auto it = anchor_.find(j);
+  return it != anchor_.end() && precedes(it->second, s);
+}
+
+bool Dmm::is_blocked(int from, const SessionId& sid) const {
+  // Equivalent to: exists an open expectation about `from` in a session s
+  // with s ->_i sid.  Only completed sessions can precede anything, and
+  // s ->_i sid iff completion_order(s) <= birth(sid) (or sid has not begun
+  // locally), so the existential collapses to a minimum comparison.
+  auto it = blocking_orders_.find(from);
+  if (it == blocking_orders_.end() || it->second.empty()) return false;
+  auto born = birth_.find(sid);
+  if (born == birth_.end()) return true;
+  return *it->second.begin() <= born->second;
+}
+
+bool Dmm::precedes(const SessionId& s, const SessionId& s2) const {
+  if (s == s2) return false;
+  auto done = completion_order_.find(s);
+  if (done == completion_order_.end()) return false;
+  auto born = birth_.find(s2);
+  // If s2 has not begun locally, every already-completed session will have
+  // completed before it begins.
+  if (born == birth_.end()) return true;
+  return done->second <= born->second;
+}
+
+void Dmm::note_begin(const SessionId& sid) {
+  birth_.emplace(sid, completions_);
+}
+
+void Dmm::note_complete(const SessionId& sid) {
+  auto [it, inserted] = completion_order_.emplace(sid, completions_ + 1);
+  if (!inserted) return;
+  ++completions_;
+  seen_recon_.erase(sid);
+  // Sessions completing with expectations still open become blocking.
+  for (auto& [sender, sessions] : open_by_sender_) {
+    auto sit = sessions.find(sid);
+    if (sit != sessions.end() && sit->second > 0) {
+      blocking_orders_[sender].insert(it->second);
+    }
+  }
+}
+
+void Dmm::note_expectation(int sender, const SessionId& sid) {
+  open_by_sender_[sender][sid]++;
+}
+
+void Dmm::drop_expectation(Context& ctx, int sender, const SessionId& sid) {
+  auto it = open_by_sender_.find(sender);
+  if (it == open_by_sender_.end()) return;
+  auto sit = it->second.find(sid);
+  if (sit == it->second.end()) return;
+  if (--sit->second == 0) {
+    it->second.erase(sit);
+    // If the session had completed while this expectation was open, its
+    // order is in the blocking index; retract it.
+    if (auto done = completion_order_.find(sid);
+        done != completion_order_.end()) {
+      auto bit = blocking_orders_.find(sender);
+      if (bit != blocking_orders_.end()) {
+        auto oit = bit->second.find(done->second);
+        if (oit != bit->second.end()) bit->second.erase(oit);
+      }
+    }
+  }
+  if (it->second.empty()) open_by_sender_.erase(it);
+  flush_delayed(ctx, sender);
+}
+
+void Dmm::add_ack_entry(Context& ctx, int sender, int poly,
+                        const SessionId& sid, Fp x) {
+  if (auto sit = seen_recon_.find(sid); sit != seen_recon_.end()) {
+    if (auto vit = sit->second.find({sender, poly});
+        vit != sit->second.end()) {
+      // The broadcast already happened: resolve or detect immediately.
+      if (vit->second != x) add_to_d(ctx, sender, sid);
+      return;
+    }
+  }
+  if (ack_.emplace(AckKey{sender, poly, sid}, x).second) {
+    note_expectation(sender, sid);
+  }
+}
+
+void Dmm::add_deal_entry(Context& ctx, int sender, const SessionId& sid,
+                         Fp x) {
+  if (auto sit = seen_recon_.find(sid); sit != seen_recon_.end()) {
+    if (auto vit = sit->second.find({sender, ctx.self()});
+        vit != sit->second.end()) {
+      if (vit->second != x) add_to_d(ctx, sender, sid);
+      return;
+    }
+  }
+  if (deal_.emplace(DealKey{sender, sid}, x).second) {
+    deal_senders_by_session_[sid].insert(sender);
+    note_expectation(sender, sid);
+  }
+}
+
+void Dmm::clear_deal_entries(Context& ctx, const SessionId& sid) {
+  auto node = deal_senders_by_session_.extract(sid);
+  if (node.empty()) return;
+  for (int s : node.mapped()) {
+    deal_.erase(DealKey{s, sid});
+    drop_expectation(ctx, s, sid);
+  }
+}
+
+bool Dmm::on_recon_value(Context& ctx, int origin, const SessionId& sid,
+                         int poly, Fp x) {
+  // Record the broadcast so expectations registered later can still be
+  // matched (RB delivers each broadcast exactly once).  Skip sessions that
+  // already completed locally — no expectations are added past completion.
+  if (completion_order_.find(sid) == completion_order_.end()) {
+    seen_recon_[sid].emplace(std::make_pair(origin, poly), x);
+  }
+  // Rule 2: ACK expectations (this process dealt session `sid`).
+  if (auto it = ack_.find(AckKey{origin, poly, sid}); it != ack_.end()) {
+    if (it->second == x) {
+      ack_.erase(it);
+      drop_expectation(ctx, origin, sid);
+    } else {
+      add_to_d(ctx, origin, sid);
+      return false;
+    }
+  }
+  // Rule 3: DEAL expectations (this process monitors f_self in `sid`).
+  if (poly == ctx.self()) {
+    if (auto it = deal_.find(DealKey{origin, sid}); it != deal_.end()) {
+      if (it->second == x) {
+        deal_.erase(it);
+        if (auto ds = deal_senders_by_session_.find(sid);
+            ds != deal_senders_by_session_.end()) {
+          ds->second.erase(origin);
+          if (ds->second.empty()) deal_senders_by_session_.erase(ds);
+        }
+        drop_expectation(ctx, origin, sid);
+      } else {
+        add_to_d(ctx, origin, sid);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Dmm::add_to_d(Context& ctx, int j, const SessionId& where) {
+  if (!d_.insert(j).second) return;
+  anchor_.emplace(j, where);
+  ctx.log().record(Event{EventKind::kShun, ctx.self(), j, where, 0, false});
+  if (hooks_.on_shun) hooks_.on_shun(ctx, j, where);
+  // Buffered messages of now-discardable sessions are dropped by the next
+  // flush; messages of concurrent sessions may still be released.
+  flush_delayed(ctx, j);
+}
+
+void Dmm::flush_delayed(Context& ctx, int sender) {
+  auto it = delayed_.find(sender);
+  if (it == delayed_.end()) return;
+  // Re-test each buffered message; releasable ones are re-injected through
+  // the owner's routing (which may re-enter this Dmm).
+  std::vector<Delayed> keep;
+  std::vector<Delayed> release;
+  for (auto& d : it->second) {
+    if (discard_applies(sender, d.msg.sid)) continue;  // rule 4: drop
+    if (is_blocked(sender, d.msg.sid)) {
+      keep.push_back(std::move(d));
+    } else {
+      release.push_back(std::move(d));
+    }
+  }
+  if (keep.empty()) {
+    delayed_.erase(it);
+  } else {
+    it->second = std::move(keep);
+  }
+  for (auto& d : release) {
+    hooks_.redeliver(ctx, d.from, d.msg, d.via_rb);
+  }
+}
+
+std::size_t Dmm::pending_expectations(int sender) const {
+  auto it = open_by_sender_.find(sender);
+  if (it == open_by_sender_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& [sid, count] : it->second) {
+    total += static_cast<std::size_t>(count);
+  }
+  return total;
+}
+
+std::vector<Dmm::OpenEntry> Dmm::blocking_entries() const {
+  std::vector<OpenEntry> out;
+  for (const auto& [key, x] : ack_) {
+    if (completion_order_.count(key.sid) != 0) {
+      out.push_back(OpenEntry{key.sender, key.sid, true});
+    }
+  }
+  for (const auto& [key, x] : deal_) {
+    if (completion_order_.count(key.sid) != 0) {
+      out.push_back(OpenEntry{key.sender, key.sid, false});
+    }
+  }
+  return out;
+}
+
+std::size_t Dmm::buffered_messages() const {
+  std::size_t total = 0;
+  for (const auto& [sender, msgs] : delayed_) total += msgs.size();
+  return total;
+}
+
+}  // namespace svss

@@ -1,0 +1,175 @@
+// DMM — the Detection and Message Management protocol (paper Section 3.3).
+//
+// One DMM instance runs per process, indefinitely, concurrently with all
+// VSS invocations.  It decides, for every inbound MW-SVSS/SVSS message,
+// whether to act on it, delay it, or discard it:
+//
+//  * D_i        — processes known faulty; all their messages are discarded
+//                 (rule 4).
+//  * ACK_i      — tuples (j, l, c, x): as the *dealer* of session (c, i),
+//                 process i expects j to eventually RB-broadcast
+//                 "f_l(j) = x" during that session's reconstruct (added at
+//                 S' step 7).
+//  * DEAL_i     — tuples (j, c, l, x): as a *monitor* in session (c, l),
+//                 i expects j to RB-broadcast "f_i(j) = x" (added at S'
+//                 step 3, possibly dropped at step 8).
+//  * ->_i order — session s precedes s' at i iff i completed s's
+//                 reconstruct before it began s'.  A message from j in
+//                 session s' is delayed while some expectation about j
+//                 from a preceding session is unresolved (rule 5).
+//
+// When an expected broadcast arrives with the wrong value, j enters D_i
+// (rules 2-3) — explicit detection.  When it never arrives, every later
+// session's messages from j stay delayed forever — *shunning without
+// knowing*, the property Definition 1 captures.  Either way j can break
+// validity/binding against i at most once per (i, j) pair, which is what
+// bounds the adversary to O(n^2) broken sessions overall.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/field.hpp"
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace svss {
+
+class Dmm {
+ public:
+  struct Hooks {
+    // Invoked when j is added to D_i (explicit detection).  `where` is the
+    // session whose expectation j violated.
+    std::function<void(Context&, int suspect, const SessionId& where)> on_shun;
+    // Re-injects a previously delayed message into the owner's routing.
+    std::function<void(Context&, int from, const Message&, bool via_rb)>
+        redeliver;
+  };
+
+  explicit Dmm(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+  // ------------------------------------------------------------------
+  // Ingress filtering (rules 4 and 5).  Returns true if the caller should
+  // act on the message now; false if it was discarded or buffered.
+  //
+  // Discarding is *session-ordered*, per Definition 1: a detected process
+  // j is discarded in sessions that come after (->_i) the session where
+  // the detection happened.  Messages of concurrent or earlier sessions
+  // still flow — otherwise a detection during one session's reconstruct
+  // would strand every in-flight share phase that still needs j's
+  // (so-far correct) messages, breaking the Termination properties.
+  // For sessions after the anchor, the violated expectation additionally
+  // stays unresolved forever, so rule 5 delays them even before the
+  // anchor session completes locally.
+  // ------------------------------------------------------------------
+  bool filter(Context& ctx, int from, const Message& m, bool via_rb);
+
+  // True iff j is in D_i (explicit detection happened).
+  [[nodiscard]] bool discards(int j) const { return d_.count(j) != 0; }
+  // True iff rule 4 drops a message from j in session s.
+  [[nodiscard]] bool discard_applies(int j, const SessionId& s) const;
+
+  // ------------------------------------------------------------------
+  // Expectation arrays.  An expectation may be registered *after* the
+  // matching reconstruct broadcast already arrived (step 7 runs on the
+  // dealer's own schedule, and RB delivers each broadcast exactly once),
+  // so additions are checked against the recorded broadcasts of the
+  // session: an already-satisfied expectation is dropped on the spot, an
+  // already-contradicted one detects the sender immediately.
+  // ------------------------------------------------------------------
+  void add_ack_entry(Context& ctx, int sender, int poly, const SessionId& sid,
+                     Fp x);
+  void add_deal_entry(Context& ctx, int sender, const SessionId& sid, Fp x);
+  // S' step 8: this process is not in M-hat, so its DEAL expectations for
+  // the session no longer matter.
+  void clear_deal_entries(Context& ctx, const SessionId& sid);
+  // Rules 2-3: an RB broadcast "f_poly(origin) = x" for session `sid`
+  // arrived.  Resolves or violates matching expectations.  Returns false
+  // iff the broadcast contradicted an expectation (origin entered D_i).
+  bool on_recon_value(Context& ctx, int origin, const SessionId& sid,
+                      int poly, Fp x);
+
+  // ------------------------------------------------------------------
+  // Session order ->_i
+  // ------------------------------------------------------------------
+  // First local action of the session (dealer initiating, or first acted-on
+  // message).  Freezes the set of sessions that precede it.
+  void note_begin(const SessionId& sid);
+  // Local completion of the session's reconstruct.
+  void note_complete(const SessionId& sid);
+
+  // ------------------------------------------------------------------
+  // Introspection (tests, benchmarks, examples)
+  // ------------------------------------------------------------------
+  [[nodiscard]] const std::set<int>& detected() const { return d_; }
+  [[nodiscard]] std::size_t pending_expectations(int sender) const;
+  [[nodiscard]] std::size_t buffered_messages() const;
+  [[nodiscard]] bool is_blocked(int from, const SessionId& sid) const;
+  // Open expectations whose session has completed locally — exactly the
+  // ones that can delay later sessions (debugging/tests).
+  struct OpenEntry {
+    int sender;
+    SessionId sid;
+    bool is_ack;
+  };
+  [[nodiscard]] std::vector<OpenEntry> blocking_entries() const;
+
+ private:
+  struct AckKey {
+    int sender;
+    int poly;
+    SessionId sid;
+    friend auto operator<=>(const AckKey&, const AckKey&) = default;
+  };
+  struct DealKey {
+    int sender;
+    SessionId sid;
+    friend auto operator<=>(const DealKey&, const DealKey&) = default;
+  };
+  struct Delayed {
+    int from;
+    bool via_rb;
+    Message msg;
+  };
+
+  void add_to_d(Context& ctx, int j, const SessionId& where);
+  // True iff session s precedes s' in ->_i given current begin/complete
+  // bookkeeping.
+  [[nodiscard]] bool precedes(const SessionId& s, const SessionId& s2) const;
+  void note_expectation(int sender, const SessionId& sid);
+  void drop_expectation(Context& ctx, int sender, const SessionId& sid);
+  void flush_delayed(Context& ctx, int sender);
+
+  Hooks hooks_;
+  std::set<int> d_;
+  std::map<int, SessionId> anchor_;  // first detection session per suspect
+  // Senders with live DEAL entries per session (step-8 bulk removal).
+  std::map<SessionId, std::set<int>> deal_senders_by_session_;
+  std::map<AckKey, Fp> ack_;
+  std::map<DealKey, Fp> deal_;
+  // Per-sender count of unresolved expectations per session, to make the
+  // blocking test cheap.
+  std::map<int, std::map<SessionId, int>> open_by_sender_;
+  // Completion orders of *completed* sessions that still hold unresolved
+  // expectations, per sender.  The rule-5 test reduces to comparing the
+  // minimum against the target session's birth — O(log) instead of a scan
+  // over every open session (which dominates runtime at coin scale).
+  std::map<int, std::multiset<std::uint64_t>> blocking_orders_;
+  std::map<int, std::vector<Delayed>> delayed_;
+  // ->_i bookkeeping: completion_order is 1-based and increasing; birth is
+  // the completion counter value when the session began locally.
+  std::unordered_map<SessionId, std::uint64_t, SessionIdHash> completion_order_;
+  std::unordered_map<SessionId, std::uint64_t, SessionIdHash> birth_;
+  std::uint64_t completions_ = 0;
+  // Reconstruct broadcasts already received, per live session:
+  // (origin, poly) -> value.  Consulted when expectations are added late;
+  // garbage-collected when the session completes locally (no expectations
+  // are added past that point).
+  std::map<SessionId, std::map<std::pair<int, int>, Fp>> seen_recon_;
+};
+
+}  // namespace svss

@@ -1,0 +1,372 @@
+#include "mwsvss/mwsvss.hpp"
+
+#include <algorithm>
+
+namespace svss {
+
+MwSvssSession::MwSvssSession(MwHost& host, SessionId sid, int self, int n,
+                             int t)
+    : host_(host), sid_(sid), self_(self), n_(n), t_(t) {
+  host_.dmm().note_begin(sid_);
+}
+
+Message MwSvssSession::base_msg(MsgType type) const {
+  Message m;
+  m.sid = sid_;
+  m.type = type;
+  return m;
+}
+
+bool MwSvssSession::valid_pid_set(const std::vector<int>& ids) const {
+  if (static_cast<int>(ids.size()) < n_ - t_) return false;
+  std::set<int> seen;
+  for (int id : ids) {
+    if (!valid_pid(id) || !seen.insert(id).second) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// S' step 1: the dealer draws f with f(0) = s and f_l with
+// f_l(0) = f(point(l)), then distributes.
+// ---------------------------------------------------------------------
+void MwSvssSession::deal(Context& ctx, Fp secret) {
+  if (dealt_ || self_ != dealer()) return;
+  dealt_ = true;
+  dealer_f_ = Polynomial::random_with_constant(secret, t_, ctx.rng());
+  dealer_polys_.reserve(static_cast<std::size_t>(n_));
+  for (int l = 0; l < n_; ++l) {
+    dealer_polys_.push_back(Polynomial::random_with_constant(
+        dealer_f_.eval(point(l)), t_, ctx.rng()));
+  }
+  for (int j = 0; j < n_; ++j) {
+    // f_1(j) .. f_n(j): one value of every monitored polynomial.
+    Message shares = base_msg(MsgType::kMwDealerShares);
+    shares.vals.reserve(static_cast<std::size_t>(n_));
+    for (int l = 0; l < n_; ++l) {
+      shares.vals.push_back(dealer_polys_[static_cast<std::size_t>(l)].eval(
+          point(j)));
+    }
+    host_.send_direct(ctx, j, std::move(shares));
+    // f_j(1) .. f_j(t+1): enough for j to reconstruct its own polynomial.
+    Message poly = base_msg(MsgType::kMwDealerPoly);
+    poly.vals = dealer_polys_[static_cast<std::size_t>(j)].evaluate_range(
+        t_ + 1);
+    host_.send_direct(ctx, j, std::move(poly));
+  }
+  Message whole = base_msg(MsgType::kMwDealerWhole);
+  whole.vals = dealer_f_.evaluate_range(t_ + 1);
+  host_.send_direct(ctx, moderator(), std::move(whole));
+}
+
+void MwSvssSession::set_moderator_input(Context& ctx, Fp s_prime) {
+  if (self_ != moderator() || mod_input_) return;
+  mod_input_ = s_prime;
+  progress(ctx);
+}
+
+void MwSvssSession::on_direct(Context& ctx, int from, const Message& m) {
+  switch (m.type) {
+    case MsgType::kMwDealerShares:
+      if (from != dealer() || row_vals_ ||
+          static_cast<int>(m.vals.size()) != n_) {
+        return;
+      }
+      row_vals_ = m.vals;
+      break;
+    case MsgType::kMwDealerPoly: {
+      if (from != dealer() || my_poly_ ||
+          static_cast<int>(m.vals.size()) != t_ + 1) {
+        return;
+      }
+      std::vector<std::pair<Fp, Fp>> pts;
+      for (int x = 1; x <= t_ + 1; ++x) {
+        pts.emplace_back(Fp(x), m.vals[static_cast<std::size_t>(x - 1)]);
+      }
+      my_poly_ = Polynomial::interpolate(pts);
+      break;
+    }
+    case MsgType::kMwDealerWhole: {
+      if (from != dealer() || self_ != moderator() || whole_poly_ ||
+          static_cast<int>(m.vals.size()) != t_ + 1) {
+        return;
+      }
+      std::vector<std::pair<Fp, Fp>> pts;
+      for (int x = 1; x <= t_ + 1; ++x) {
+        pts.emplace_back(Fp(x), m.vals[static_cast<std::size_t>(x - 1)]);
+      }
+      whole_poly_ = Polynomial::interpolate(pts);
+      break;
+    }
+    case MsgType::kMwEchoVal:
+      // from sends f-hat^from_self: its received value of f_self(from).
+      if (m.vals.size() != 1 || echo_from_.count(from) != 0) return;
+      echo_from_.emplace(from, m.vals[0]);
+      break;
+    case MsgType::kMwMonitorVal:
+      // Monitor `from` hands the moderator its f-hat_from(0).
+      if (self_ != moderator() || m.vals.size() != 1 ||
+          monitor_vals_.count(from) != 0) {
+        return;
+      }
+      monitor_vals_.emplace(from, m.vals[0]);
+      break;
+    default:
+      return;
+  }
+  progress(ctx);
+}
+
+void MwSvssSession::on_broadcast(Context& ctx, int origin, const Message& m) {
+  switch (m.type) {
+    case MsgType::kMwAck:
+      acked_.insert(origin);
+      break;
+    case MsgType::kMwLset:
+      if (lsets_.count(origin) != 0 || !valid_pid_set(m.ints)) return;
+      lsets_.emplace(origin, m.ints);
+      break;
+    case MsgType::kMwMset:
+      if (origin != moderator() || mset_ || !valid_pid_set(m.ints)) return;
+      mset_ = m.ints;
+      // S' step 8: a process outside M-hat drops its DEAL expectations for
+      // this session — its polynomial no longer matters.
+      if (std::find(mset_->begin(), mset_->end(), self_) == mset_->end()) {
+        host_.dmm().clear_deal_entries(ctx, sid_);
+      }
+      break;
+    case MsgType::kMwOk:
+      if (origin != dealer()) return;
+      ok_seen_ = true;
+      break;
+    case MsgType::kMwReconVal:
+      // DMM rules 2-3 ran before this handler (see core::Node routing).
+      if (m.vals.size() != 1 || !valid_pid(m.a)) return;
+      recon_vals_.push_back(ReconVal{origin, m.a, m.vals[0]});
+      break;
+    default:
+      return;
+  }
+  progress(ctx);
+}
+
+void MwSvssSession::progress(Context& ctx) {
+  if (compacted_) return;
+  try_echo_and_ack(ctx);
+  try_add_deal_entries(ctx);
+  try_broadcast_lset(ctx);
+  if (self_ == moderator()) moderator_progress(ctx);
+  if (self_ == dealer()) dealer_progress(ctx);
+  try_complete_share(ctx);
+  if (recon_started_) recon_progress(ctx);
+}
+
+// S' step 2: once both dealer messages are in, echo each value to its
+// monitor and publicly acknowledge.
+void MwSvssSession::try_echo_and_ack(Context& ctx) {
+  if (echoed_ || !row_vals_ || !my_poly_) return;
+  echoed_ = true;
+  for (int l = 0; l < n_; ++l) {
+    Message echo = base_msg(MsgType::kMwEchoVal);
+    echo.vals.push_back((*row_vals_)[static_cast<std::size_t>(l)]);
+    host_.send_direct(ctx, l, std::move(echo));
+  }
+  host_.rb_broadcast(ctx, base_msg(MsgType::kMwAck));
+}
+
+// S' step 3: confirmer l checks out for f_self — register the expectation
+// that l will publicly confirm f_self(l) during reconstruction.  Entries
+// are only added while L_self is still open: a confirmer outside the
+// frozen L-hat set never broadcasts for us, so its expectation could never
+// be resolved and would wrongly delay an honest process forever (this is
+// the one place we deviate from the paper's letter; see DESIGN.md).
+void MwSvssSession::try_add_deal_entries(Context& ctx) {
+  if (!my_poly_ || lset_sent_) return;
+  // S' step 8 extension: once M-hat is known and we are not a monitor in
+  // it, f_self is irrelevant — registering further expectations would
+  // create obligations nobody ever fulfills.
+  if (mset_ && std::find(mset_->begin(), mset_->end(), self_) ==
+                   mset_->end()) {
+    return;
+  }
+  for (const auto& [l, val] : echo_from_) {
+    if (deal_added_.count(l) != 0 || acked_.count(l) == 0) continue;
+    if (val == my_poly_->eval(point(l))) {
+      deal_added_.insert(l);
+      host_.dmm().add_deal_entry(ctx, l, sid_, val);
+    }
+  }
+}
+
+// S' step 4: enough confirmers — publish L_self and give the moderator the
+// monitored point f_self(0).
+void MwSvssSession::try_broadcast_lset(Context& ctx) {
+  if (lset_sent_ || !my_poly_ ||
+      static_cast<int>(deal_added_.size()) < n_ - t_) {
+    return;
+  }
+  lset_sent_ = true;
+  Message lset = base_msg(MsgType::kMwLset);
+  lset.ints.assign(deal_added_.begin(), deal_added_.end());
+  host_.rb_broadcast(ctx, lset);
+  Message mv = base_msg(MsgType::kMwMonitorVal);
+  mv.vals.push_back(my_poly_->constant());
+  host_.send_direct(ctx, moderator(), std::move(mv));
+}
+
+// S' steps 5-6: the moderator accepts monitors whose point agrees with the
+// dealer's f and whose confirmers all acked, provided f(0) equals its own
+// input s'; with n-t accepted monitors it publishes M.
+void MwSvssSession::moderator_progress(Context& ctx) {
+  if (mset_sent_ || !whole_poly_ || !mod_input_) return;
+  if (whole_poly_->constant() != *mod_input_) return;  // dealer != moderator
+  for (const auto& [j, v] : monitor_vals_) {
+    if (m_building_.count(j) != 0) continue;
+    if (v != whole_poly_->eval(point(j))) continue;
+    auto ls = lsets_.find(j);
+    if (ls == lsets_.end()) continue;
+    bool all_acked = true;
+    for (int l : ls->second) {
+      if (acked_.count(l) == 0) {
+        all_acked = false;
+        break;
+      }
+    }
+    if (all_acked) m_building_.insert(j);
+  }
+  if (static_cast<int>(m_building_.size()) >= n_ - t_) {
+    mset_sent_ = true;
+    Message mset = base_msg(MsgType::kMwMset);
+    mset.ints.assign(m_building_.begin(), m_building_.end());
+    host_.rb_broadcast(ctx, mset);
+  }
+}
+
+// S' step 7: the dealer cross-checks the moderator's M against the L sets
+// and acks it saw itself, registers ACK expectations for every (monitor,
+// confirmer) pair, and publishes OK.
+void MwSvssSession::dealer_progress(Context& ctx) {
+  if (ok_sent_ || !dealt_ || !mset_) return;
+  for (int j : *mset_) {
+    auto ls = lsets_.find(j);
+    if (ls == lsets_.end()) return;
+    for (int l : ls->second) {
+      if (acked_.count(l) == 0) return;
+    }
+  }
+  ok_sent_ = true;
+  for (int j : *mset_) {
+    for (int l : lsets_.at(j)) {
+      host_.dmm().add_ack_entry(
+          ctx, l, j, sid_,
+          dealer_polys_[static_cast<std::size_t>(j)].eval(point(l)));
+    }
+  }
+  host_.rb_broadcast(ctx, base_msg(MsgType::kMwOk));
+}
+
+// S' step 9: OK + M-hat + all L-hat sets + all their acks == done.
+void MwSvssSession::try_complete_share(Context& ctx) {
+  if (share_done_ || !ok_seen_ || !mset_) return;
+  for (int l : *mset_) {
+    auto ls = lsets_.find(l);
+    if (ls == lsets_.end()) return;
+    for (int k : ls->second) {
+      if (acked_.count(k) == 0) return;
+    }
+  }
+  share_done_ = true;
+  ctx.log().record(
+      Event{EventKind::kMwShareComplete, self_, -1, sid_, 0, false});
+  host_.mw_share_completed(ctx, sid_);
+}
+
+// R' step 1: publish every value this process confirmed as some monitor's
+// confirmer.
+void MwSvssSession::start_reconstruct(Context& ctx) {
+  if (recon_started_) return;
+  recon_started_ = true;
+  progress(ctx);
+}
+
+void MwSvssSession::recon_progress(Context& ctx) {
+  // Everything below relies on the S' completion invariant: M-hat and the
+  // L-hat set of every monitor in it are present.
+  if (output_ready_ || !share_done_ || !mset_) return;
+  if (!recon_broadcast_done_ && row_vals_) {
+    recon_broadcast_done_ = true;
+    for (int l : *mset_) {
+      const auto& ls = lsets_.find(l);
+      if (ls == lsets_.end()) continue;
+      if (std::find(ls->second.begin(), ls->second.end(), self_) ==
+          ls->second.end()) {
+        continue;
+      }
+      Message rv = base_msg(MsgType::kMwReconVal);
+      rv.a = static_cast<std::int16_t>(l);
+      rv.vals.push_back((*row_vals_)[static_cast<std::size_t>(l)]);
+      host_.rb_broadcast(ctx, rv);
+    }
+  }
+
+  // R' steps 2-3: fold broadcast values into K_{self,l} in arrival order;
+  // the first t+1 points of each monitor interpolate f-bar_l.
+  for (; recon_cursor_ < recon_vals_.size(); ++recon_cursor_) {
+    const ReconVal& rv = recon_vals_[recon_cursor_];
+    if (std::find(mset_->begin(), mset_->end(), rv.l) == mset_->end()) {
+      continue;
+    }
+    auto ls = lsets_.find(rv.l);
+    if (ls == lsets_.end()) continue;
+    if (std::find(ls->second.begin(), ls->second.end(), rv.from) ==
+        ls->second.end()) {
+      continue;
+    }
+    auto& k = kvals_[rv.l];
+    if (static_cast<int>(k.size()) >= t_ + 1) continue;
+    k.emplace_back(point(rv.from), rv.x);
+    if (static_cast<int>(k.size()) == t_ + 1 && fbar_.count(rv.l) == 0) {
+      fbar_.emplace(rv.l, Polynomial::interpolate(k));
+    }
+  }
+
+  // R' step 4: with every monitor's polynomial in hand, interpolate f-bar
+  // through the monitored points, or output bottom.
+  for (int l : *mset_) {
+    if (fbar_.count(l) == 0) return;
+  }
+  std::vector<std::pair<Fp, Fp>> pts;
+  pts.reserve(mset_->size());
+  for (int l : *mset_) {
+    pts.emplace_back(point(l), fbar_.at(l).constant());
+  }
+  auto f = Polynomial::interpolate_checked(pts, t_);
+  output_ready_ = true;
+  output_ = f ? std::optional<Fp>(f->constant()) : std::nullopt;
+  ctx.log().record(Event{EventKind::kMwReconOutput, self_, -1, sid_,
+                         output_ ? static_cast<std::int64_t>(output_->value())
+                                 : 0,
+                         output_.has_value()});
+  host_.dmm().note_complete(sid_);
+  host_.mw_recon_output(ctx, sid_, output_);
+}
+
+void MwSvssSession::compact() {
+  if (!share_done_ || !output_ready_ || compacted_) return;
+  compacted_ = true;
+  dealer_polys_.clear();
+  dealer_polys_.shrink_to_fit();
+  row_vals_.reset();
+  echo_from_.clear();
+  acked_.clear();
+  deal_added_.clear();
+  lsets_.clear();
+  monitor_vals_.clear();
+  m_building_.clear();
+  recon_vals_.clear();
+  recon_vals_.shrink_to_fit();
+  kvals_.clear();
+  fbar_.clear();
+}
+
+}  // namespace svss

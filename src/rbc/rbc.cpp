@@ -1,0 +1,80 @@
+#include "rbc/rbc.hpp"
+
+namespace svss {
+
+void Rbc::broadcast(Context& ctx, const Message& m) {
+  BcastId bid;
+  bid.origin = static_cast<std::int16_t>(ctx.self());
+  bid.sid = m.sid;
+  bid.slot = m.type;
+  bid.a = m.a;
+  ctx.send_all(make_rb(bid, RbPhase::kSend, m.serialize()));
+}
+
+void Rbc::on_transport(Context& ctx, int from, const Packet& p) {
+  if (!p.is_rb) return;
+  const BcastId& bid = p.bid;
+  Instance& inst = instances_[bid];
+  if (inst.accepted) return;
+  const int n = ctx.n();
+  const int t = ctx.t();
+
+  switch (p.phase) {
+    case RbPhase::kSend: {
+      // WRB step 2: echo the dealer's type-1 message, once, only if it
+      // really came from the claimed origin.
+      if (from != bid.origin || inst.sent_echo) return;
+      inst.sent_echo = true;
+      ctx.send_all(make_rb(bid, RbPhase::kEcho, p.value));
+      return;
+    }
+    case RbPhase::kEcho: {
+      auto& senders = inst.echoes[p.value];
+      if (!senders.insert(from).second) return;
+      // WRB step 3: n-t matching echoes -> WRB-accept; RB step 2: send
+      // ready for the WRB-accepted value.
+      if (static_cast<int>(senders.size()) >= n - t && !inst.sent_ready) {
+        inst.sent_ready = true;
+        inst.ready_value = p.value;
+        ctx.send_all(make_rb(bid, RbPhase::kReady, p.value));
+      }
+      return;
+    }
+    case RbPhase::kReady: {
+      auto& senders = inst.readies[p.value];
+      if (!senders.insert(from).second) return;
+      // RB step 3: t+1 readies amplify.
+      if (static_cast<int>(senders.size()) >= t + 1 && !inst.sent_ready) {
+        inst.sent_ready = true;
+        inst.ready_value = p.value;
+        ctx.send_all(make_rb(bid, RbPhase::kReady, p.value));
+      }
+      // RB step 4: n-t readies accept.
+      maybe_accept(ctx, bid, inst, p.value, senders.size());
+      return;
+    }
+  }
+}
+
+void Rbc::maybe_accept(Context& ctx, const BcastId& bid, Instance& inst,
+                       const Bytes& value, std::size_t ready_count) {
+  if (inst.accepted || static_cast<int>(ready_count) < ctx.n() - ctx.t()) {
+    return;
+  }
+  inst.accepted = true;
+  // Free the per-value maps; the instance record stays as an accept marker.
+  inst.echoes.clear();
+  inst.readies.clear();
+
+  auto msg = Message::deserialize(value);
+  // A Byzantine origin can get garbage accepted, or a message whose header
+  // does not match the slot it was broadcast under.  All nonfaulty
+  // processes parse the same bytes, so they all drop it consistently.
+  if (!msg || !(msg->sid == bid.sid) || msg->type != bid.slot ||
+      msg->a != bid.a) {
+    return;
+  }
+  deliver_(ctx, bid.origin, *msg);
+}
+
+}  // namespace svss

@@ -1,0 +1,67 @@
+// Reliable Broadcast (paper Appendix A).
+//
+// Two layered primitives, implemented exactly as in the appendix:
+//  * Weak Reliable Broadcast (WRB) — Dolev's crusader agreement.  Type-1
+//    message from the dealer, type-2 echoes; accepting requires n-t
+//    matching echoes, so no two nonfaulty processes accept different
+//    values.
+//  * Reliable Broadcast (RB) — Bracha's echo broadcast on top of WRB.
+//    Type-3 "ready" messages with the t+1 amplification rule add the
+//    all-or-none termination property.
+//
+// One Rbc component per process multiplexes arbitrarily many concurrent
+// broadcast instances, keyed by BcastId.  The broadcast value is an opaque
+// byte string (a serialized application Message); on acceptance it is
+// parsed and checked against the instance id, so a Byzantine origin cannot
+// smuggle a message for a different slot or session through its own
+// broadcast.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace svss {
+
+class Rbc {
+ public:
+  // Called exactly once per accepted broadcast with the parsed message.
+  using DeliverFn = std::function<void(Context&, int origin, const Message&)>;
+
+  explicit Rbc(DeliverFn deliver) : deliver_(std::move(deliver)) {}
+
+  // Reliably broadcasts `m` as this process's broadcast for the slot
+  // (m.sid, m.type, m.a).  Every process (including the sender) delivers it
+  // at most once, and all nonfaulty processes that deliver agree.
+  void broadcast(Context& ctx, const Message& m);
+
+  // Feeds one RB transport packet into the state machine.  May trigger
+  // echo/ready sends and, on acceptance, the deliver callback.
+  void on_transport(Context& ctx, int from, const Packet& p);
+
+  // Number of instances this process has participated in (for tests).
+  [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
+
+ private:
+  struct Instance {
+    bool sent_echo = false;
+    bool sent_ready = false;
+    bool accepted = false;
+    Bytes ready_value;  // the value this process is backing, if sent_ready
+    // value -> distinct senders seen (std::map: Bytes has operator<)
+    std::map<Bytes, std::set<int>> echoes;
+    std::map<Bytes, std::set<int>> readies;
+  };
+
+  void maybe_accept(Context& ctx, const BcastId& bid, Instance& inst,
+                    const Bytes& value, std::size_t ready_count);
+
+  DeliverFn deliver_;
+  std::unordered_map<BcastId, Instance, BcastIdHash> instances_;
+};
+
+}  // namespace svss

@@ -1,0 +1,159 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace svss {
+
+std::vector<std::pair<int, int>> EventLog::shun_pairs() const {
+  std::vector<std::pair<int, int>> out;
+  for (const Event& e : events_) {
+    if (e.kind != EventKind::kShun) continue;
+    std::pair<int, int> p{e.who, e.other};
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, std::optional<std::int64_t>>>
+EventLog::recon_outputs(EventKind kind, const SessionId& sid) const {
+  std::vector<std::pair<int, std::optional<std::int64_t>>> out;
+  for (const Event& e : events_) {
+    if (e.kind != kind || !(e.sid == sid)) continue;
+    out.emplace_back(e.who, e.has_value
+                                ? std::optional<std::int64_t>(e.value)
+                                : std::nullopt);
+  }
+  return out;
+}
+
+int Context::n() const { return engine_->n(); }
+int Context::t() const { return engine_->t(); }
+Rng& Context::rng() { return engine_->rng_for(self_); }
+EventLog& Context::log() { return engine_->log(); }
+
+void Context::send(int to, Packet p) { engine_->enqueue(self_, to, std::move(p)); }
+
+void Context::send_all(Packet p) {
+  for (int to = 0; to < engine_->n(); ++to) {
+    engine_->enqueue(self_, to, p);
+  }
+}
+
+Engine::Engine(int n, int t, std::uint64_t seed,
+               std::unique_ptr<Scheduler> sched)
+    : n_(n), t_(t), sched_(std::move(sched)),
+      procs_(static_cast<std::size_t>(n)),
+      interceptors_(static_cast<std::size_t>(n)),
+      proc_depth_(static_cast<std::size_t>(n), 0) {
+  if (n <= 0) throw std::invalid_argument("Engine: n must be positive");
+  Rng root(seed);
+  rngs_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rngs_.push_back(root.split(static_cast<std::uint64_t>(i)));
+  }
+}
+
+void Engine::set_process(int id, std::unique_ptr<IProcess> p) {
+  procs_.at(static_cast<std::size_t>(id)) = std::move(p);
+}
+
+void Engine::set_interceptor(int id, Interceptor f) {
+  interceptors_.at(static_cast<std::size_t>(id)) = std::move(f);
+}
+
+void Engine::enqueue(int from, int to, Packet p) {
+  assert(to >= 0 && to < n_);
+  if (from >= 0 && interceptors_[static_cast<std::size_t>(from)]) {
+    if (!interceptors_[static_cast<std::size_t>(from)](from, to, p)) return;
+  }
+  std::uint64_t seq = next_seq_++;
+  Pending pending;
+  pending.enqueue_step = delivered_;
+  pending.from = from;
+  pending.to = to;
+  pending.depth = current_depth_ + 1;
+  pending.pkt = std::move(p);
+
+  PendingInfo info{seq, from, to, pending.pkt.is_rb};
+  std::uint64_t priority = sched_->priority(info);
+
+  metrics_.packets_sent++;
+  metrics_.bytes_sent += pending.pkt.wire_size();
+  if (pending.pkt.is_rb) {
+    metrics_.rb_transport_packets++;
+  } else {
+    metrics_.direct_packets++;
+  }
+
+  live_.emplace(seq, std::move(pending));
+  heap_.push_back(HeapEntry{priority, seq});
+  std::push_heap(heap_.begin(), heap_.end(), HeapOrder{});
+  fifo_.push_back(seq);
+}
+
+void Engine::deliver_one() {
+  while (!fifo_.empty() && live_.find(fifo_.front()) == live_.end()) {
+    fifo_.pop_front();
+  }
+  std::uint64_t seq;
+  // Age cap: force the oldest in-flight packet through if starved.
+  if (!fifo_.empty() &&
+      delivered_ - live_.at(fifo_.front()).enqueue_step > max_lag_) {
+    seq = fifo_.front();
+    fifo_.pop_front();
+  } else {
+    while (!heap_.empty() && live_.find(heap_.front().seq) == live_.end()) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapOrder{});
+      heap_.pop_back();
+    }
+    if (heap_.empty()) return;
+    seq = heap_.front().seq;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapOrder{});
+    heap_.pop_back();
+  }
+
+  auto node = live_.extract(seq);
+  Pending& chosen = node.mapped();
+  delivered_++;
+  metrics_.packets_delivered++;
+
+  // Causal depth: the receiver's depth becomes at least the packet's depth;
+  // packets it sends while handling this delivery are one deeper.
+  auto& rd = proc_depth_[static_cast<std::size_t>(chosen.to)];
+  rd = std::max(rd, chosen.depth);
+  current_depth_ = rd;
+  metrics_.max_depth = std::max(metrics_.max_depth, rd);
+
+  Context ctx(*this, chosen.to);
+  procs_[static_cast<std::size_t>(chosen.to)]->on_packet(ctx, chosen.from,
+                                                         chosen.pkt);
+}
+
+RunStatus Engine::run(std::uint64_t max_deliveries) {
+  return run_until([] { return false; }, max_deliveries);
+}
+
+RunStatus Engine::run_until(const std::function<bool()>& done,
+                            std::uint64_t max_deliveries) {
+  if (!started_) {
+    started_ = true;
+    for (int i = 0; i < n_; ++i) {
+      if (!procs_[static_cast<std::size_t>(i)]) {
+        throw std::logic_error("Engine: process not set");
+      }
+      current_depth_ = 0;
+      Context ctx(*this, i);
+      procs_[static_cast<std::size_t>(i)]->start(ctx);
+    }
+  }
+  std::uint64_t budget = max_deliveries;
+  while (!idle() && !done()) {
+    if (budget-- == 0) return RunStatus::kDeliveryCap;
+    deliver_one();
+  }
+  return RunStatus::kQuiescent;
+}
+
+}  // namespace svss

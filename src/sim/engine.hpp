@@ -1,0 +1,197 @@
+// Discrete-event simulation engine: processes, private channels, and an
+// adversarial scheduler.
+//
+// The engine is the substrate substituting for the paper's asynchronous
+// network.  It owns n processes, a pool of in-flight packets, and delivers
+// one packet per step in scheduler-priority order, with an age cap that
+// guarantees eventual delivery.  Determinism: a run is a pure function of
+// (processes, scheduler, seed), so every failure is replayable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+
+namespace svss {
+
+// ----------------------------------------------------------------------
+// Event log: structured trace of protocol-level events, consumed by tests
+// and benchmarks to check the paper's properties (binding-or-shun,
+// validity, coin probability bounds, agreement, ...).
+// ----------------------------------------------------------------------
+
+enum class EventKind : std::uint8_t {
+  kShun,             // who starts shunning other (D_i addition or forever-delay)
+  kMwShareComplete,  // who completed MW-SVSS share S' of sid
+  kMwReconOutput,    // who output value (or bottom) in MW-SVSS R' of sid
+  kSvssShareComplete,
+  kSvssReconOutput,
+  kCoinOutput,       // who output bit `value` in coin round sid.counter
+  kAbaDecide,        // who decided `value`; other = round
+  kCustom,
+};
+
+struct Event {
+  EventKind kind;
+  int who = -1;
+  int other = -1;
+  SessionId sid;
+  std::int64_t value = 0;
+  bool has_value = false;  // false encodes bottom for recon outputs
+};
+
+class EventLog {
+ public:
+  void record(Event e) { events_.push_back(std::move(e)); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // All (i, j) pairs such that i started shunning j at some point.
+  [[nodiscard]] std::vector<std::pair<int, int>> shun_pairs() const;
+  // Reconstruct outputs of `kind` for session `sid`, indexed by process.
+  [[nodiscard]] std::vector<std::pair<int, std::optional<std::int64_t>>>
+  recon_outputs(EventKind kind, const SessionId& sid) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+// ----------------------------------------------------------------------
+// Process interface and per-process context
+// ----------------------------------------------------------------------
+
+class Engine;
+
+// Handle through which a process interacts with the world.  Passed to every
+// callback; never stored by processes.
+class Context {
+ public:
+  Context(Engine& engine, int self) : engine_(&engine), self_(self) {}
+
+  [[nodiscard]] int self() const { return self_; }
+  [[nodiscard]] int n() const;
+  [[nodiscard]] int t() const;
+  Rng& rng();
+  EventLog& log();
+
+  // Sends `p` over the private channel self -> to.  Sending to self is
+  // allowed and goes through the scheduler like any other packet.
+  void send(int to, Packet p);
+  // Convenience: send a packet to every process (including self).
+  void send_all(Packet p);
+
+ private:
+  Engine* engine_;
+  int self_;
+};
+
+class IProcess {
+ public:
+  virtual ~IProcess() = default;
+  virtual void start(Context& ctx) = 0;
+  virtual void on_packet(Context& ctx, int from, const Packet& p) = 0;
+};
+
+// ----------------------------------------------------------------------
+// Engine
+// ----------------------------------------------------------------------
+
+enum class RunStatus {
+  kQuiescent,   // no packets left: every protocol ran to completion
+  kDeliveryCap, // hit max_deliveries (used as a non-termination guard)
+};
+
+class Engine {
+ public:
+  Engine(int n, int t, std::uint64_t seed, std::unique_ptr<Scheduler> sched);
+
+  // Must be called for every id in [0, n) before run().
+  void set_process(int id, std::unique_ptr<IProcess> p);
+
+  // Outbound interceptor for a (faulty) process: inspects/mutates every
+  // packet the process sends, per recipient; returning false drops it.
+  // This models Byzantine behaviour as "honest code, corrupted wire":
+  // equivocation, wrong shares, selective silence, etc., without forking
+  // the protocol implementation.
+  using Interceptor = std::function<bool(int from, int to, Packet&)>;
+  void set_interceptor(int id, Interceptor f);
+
+  // Calls start() on every process, then delivers packets until quiescence
+  // or the delivery cap.
+  RunStatus run(std::uint64_t max_deliveries = 50'000'000);
+
+  // Delivers packets until `done()` returns true (early stop for
+  // experiments that only need e.g. all honest decisions), quiescence, or
+  // the cap.
+  RunStatus run_until(const std::function<bool()>& done,
+                      std::uint64_t max_deliveries = 50'000'000);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int t() const { return t_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] EventLog& log() { return log_; }
+  [[nodiscard]] const EventLog& log() const { return log_; }
+  Rng& rng_for(int id) { return rngs_[static_cast<std::size_t>(id)]; }
+  IProcess& process(int id) { return *procs_[static_cast<std::size_t>(id)]; }
+
+  // Age cap: a packet skipped for more than this many deliveries is forced
+  // through, guaranteeing eventual delivery under any scheduler.
+  void set_max_lag(std::uint64_t lag) { max_lag_ = lag; }
+
+ private:
+  friend class Context;
+  void enqueue(int from, int to, Packet p);
+  void deliver_one();
+  [[nodiscard]] bool idle() const { return live_.empty(); }
+
+  struct Pending {
+    std::uint64_t enqueue_step;
+    int from;
+    int to;
+    Packet pkt;
+    std::uint64_t depth;
+  };
+  // Heap entry: (priority, seq); min-heap, ties broken by send order.
+  struct HeapEntry {
+    std::uint64_t priority;
+    std::uint64_t seq;
+  };
+  struct HeapOrder {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  int n_;
+  int t_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<std::unique_ptr<IProcess>> procs_;
+  std::vector<Interceptor> interceptors_;
+  std::vector<Rng> rngs_;
+  // live_ owns in-flight packets, keyed by send sequence number.  heap_
+  // orders them by scheduler priority; fifo_ by send order (for the age
+  // cap).  Both structures hold seq numbers and lazily skip entries that
+  // are no longer live.
+  std::unordered_map<std::uint64_t, Pending> live_;
+  std::vector<HeapEntry> heap_;
+  std::deque<std::uint64_t> fifo_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t max_lag_ = 1 << 20;
+  std::uint64_t current_depth_ = 0;  // causal depth during a delivery
+  std::vector<std::uint64_t> proc_depth_;
+  Metrics metrics_;
+  EventLog log_;
+  bool started_ = false;
+};
+
+}  // namespace svss

@@ -1,0 +1,155 @@
+#include "sim/message.hpp"
+
+#include <sstream>
+
+namespace svss {
+
+std::string SessionId::str() const {
+  std::ostringstream os;
+  static constexpr const char* kPathNames[] = {
+      "mw", "mw/svss", "mw/svss/coin", "svss", "svss/coin", "coin", "aba",
+      "test"};
+  os << kPathNames[static_cast<int>(path)] << "(c=" << counter
+     << ",d=" << owner;
+  if (moderator >= 0) os << ",m=" << moderator;
+  if (svss_dealer >= 0) os << ",sd=" << svss_dealer << ",v=" << int(variant);
+  os << ")";
+  return os.str();
+}
+
+std::optional<SessionId> parent_session(const SessionId& sid) {
+  switch (sid.path) {
+    case SessionPath::kMwInSvssTop:
+      return SessionId{SessionPath::kSvssTop, 0, sid.svss_dealer, -1, -1,
+                       sid.counter};
+    case SessionPath::kMwInSvssCoin:
+      return SessionId{SessionPath::kSvssCoin, 0, sid.svss_dealer, -1, -1,
+                       sid.counter};
+    case SessionPath::kSvssCoin:
+      return SessionId{SessionPath::kCoin, 0, -1, -1, -1,
+                       sid.counter / kMaxN};
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+void write_sid(Writer& w, const SessionId& s) {
+  w.u8(static_cast<std::uint8_t>(s.path));
+  w.u8(s.variant);
+  w.i32(s.owner);
+  w.i32(s.moderator);
+  w.i32(s.svss_dealer);
+  w.u32(s.counter);
+}
+
+std::optional<SessionId> read_sid(Reader& r) {
+  auto path = r.u8();
+  auto variant = r.u8();
+  auto owner = r.i32();
+  auto moderator = r.i32();
+  auto svss_dealer = r.i32();
+  auto counter = r.u32();
+  if (!path || !variant || !owner || !moderator || !svss_dealer || !counter) {
+    return std::nullopt;
+  }
+  if (*path > static_cast<std::uint8_t>(SessionPath::kTest)) return std::nullopt;
+  SessionId s;
+  s.path = static_cast<SessionPath>(*path);
+  s.variant = *variant;
+  s.owner = static_cast<std::int16_t>(*owner);
+  s.moderator = static_cast<std::int16_t>(*moderator);
+  s.svss_dealer = static_cast<std::int16_t>(*svss_dealer);
+  s.counter = *counter;
+  return s;
+}
+
+}  // namespace
+
+Bytes Message::serialize() const {
+  Writer w;
+  write_sid(w, sid);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.i32(a);
+  w.i32(b);
+  w.field_vec(vals);
+  w.int_vec(ints);
+  w.bytes(blob);
+  return std::move(w).take();
+}
+
+std::optional<Message> Message::deserialize(const Bytes& raw) {
+  Reader r(raw);
+  auto sid = read_sid(r);
+  auto type = r.u8();
+  auto a = r.i32();
+  auto b = r.i32();
+  auto vals = r.field_vec();
+  auto ints = r.int_vec();
+  auto blob = r.bytes();
+  if (!sid || !type || !a || !b || !vals || !ints || !blob || !r.exhausted()) {
+    return std::nullopt;
+  }
+  Message m;
+  m.sid = *sid;
+  m.type = static_cast<MsgType>(*type);
+  m.a = static_cast<std::int16_t>(*a);
+  m.b = static_cast<std::int16_t>(*b);
+  m.vals = std::move(*vals);
+  m.ints = std::move(*ints);
+  m.blob = std::move(*blob);
+  return m;
+}
+
+std::size_t Packet::wire_size() const {
+  // Envelope overhead (routing headers) + payload bytes.
+  constexpr std::size_t kEnvelope = 8;
+  if (is_rb) {
+    return kEnvelope + 16 /* bid */ + 1 /* phase */ + value.size();
+  }
+  return kEnvelope + app.serialize().size();
+}
+
+Packet make_direct(Message m) {
+  Packet p;
+  p.is_rb = false;
+  p.app = std::move(m);
+  return p;
+}
+
+Packet make_rb(BcastId bid, RbPhase phase, Bytes value) {
+  Packet p;
+  p.is_rb = true;
+  p.bid = bid;
+  p.phase = phase;
+  p.value = std::move(value);
+  return p;
+}
+
+namespace {
+inline std::size_t mix(std::size_t h, std::size_t v) {
+  return h * 0x100000001B3ULL ^ v;
+}
+}  // namespace
+
+std::size_t SessionIdHash::operator()(const SessionId& s) const {
+  std::size_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, static_cast<std::size_t>(s.path));
+  h = mix(h, s.variant);
+  h = mix(h, static_cast<std::size_t>(s.owner + 1));
+  h = mix(h, static_cast<std::size_t>(s.moderator + 1));
+  h = mix(h, static_cast<std::size_t>(s.svss_dealer + 1));
+  h = mix(h, s.counter);
+  return h;
+}
+
+std::size_t BcastIdHash::operator()(const BcastId& b) const {
+  std::size_t h = SessionIdHash{}(b.sid);
+  h = mix(h, static_cast<std::size_t>(b.origin + 1));
+  h = mix(h, static_cast<std::size_t>(b.slot));
+  h = mix(h, static_cast<std::size_t>(b.a + 1));
+  return h;
+}
+
+}  // namespace svss

@@ -1,0 +1,144 @@
+// Wire-level message model shared by every protocol layer.
+//
+// Sessions.  The paper tags every VSS invocation with a session identifier
+// (c, i) — a counter plus the dealer — and nests MW-SVSS invocations inside
+// SVSS invocations, SVSS invocations inside common-coin rounds, and coin
+// rounds inside the agreement protocol.  SessionId makes that whole chain
+// self-describing so a receiver can route any message to the right protocol
+// instance (creating it on first contact) and so DMM can order sessions.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/field.hpp"
+#include "common/serialization.hpp"
+
+namespace svss {
+
+// Where a session sits in the protocol stack.  The parent session of a
+// nested invocation is recoverable from the id alone (see parent_session).
+enum class SessionPath : std::uint8_t {
+  kMwTop = 0,        // standalone MW-SVSS invocation
+  kMwInSvssTop = 1,  // MW-SVSS nested in a standalone SVSS invocation
+  kMwInSvssCoin = 2, // MW-SVSS nested in an SVSS nested in a coin round
+  kSvssTop = 3,      // standalone SVSS invocation
+  kSvssCoin = 4,     // SVSS invocation that carries one coin-round secret
+  kCoin = 5,         // one shunning-common-coin round
+  kAba = 6,          // the agreement protocol instance
+  kTest = 7,         // scratch sessions for unit tests
+};
+
+// Number of attachees encodable in an SVSS-in-coin counter (round*kMaxN+j).
+inline constexpr std::uint32_t kMaxN = 128;
+
+struct SessionId {
+  SessionPath path = SessionPath::kTest;
+  // For MW-SVSS-in-SVSS: 0 if the shared entry is f(moderator, dealer),
+  // 1 if it is f(dealer, moderator).  (Paper, S step 2, cases a-d.)
+  std::uint8_t variant = 0;
+  std::int16_t owner = -1;       // dealer of *this* layer's invocation
+  std::int16_t moderator = -1;   // MW-SVSS moderator, else -1
+  std::int16_t svss_dealer = -1; // enclosing SVSS dealer for nested MW-SVSS
+  std::uint32_t counter = 0;     // top-level counter; for kSvssCoin this is
+                                 // round * kMaxN + attachee
+
+  friend auto operator<=>(const SessionId&, const SessionId&) = default;
+  friend bool operator==(const SessionId&, const SessionId&) = default;
+
+  [[nodiscard]] std::string str() const;
+};
+
+// The enclosing session, or nullopt for top-level sessions.
+std::optional<SessionId> parent_session(const SessionId& sid);
+
+// Message types across all layers.  One flat enum keeps serialization and
+// logging trivial; each protocol only consumes its own values.
+enum class MsgType : std::uint8_t {
+  // --- MW-SVSS (Section 3.2) ---
+  kMwDealerShares = 1,  // dealer -> j: f_1(j) .. f_n(j)           (direct)
+  kMwDealerPoly = 2,    // dealer -> l: f_l(1) .. f_l(t+1)         (direct)
+  kMwDealerWhole = 3,   // dealer -> moderator: f(1) .. f(t+1)     (direct)
+  kMwEchoVal = 4,       // j -> l: the value f_l(j) j received     (direct)
+  kMwMonitorVal = 5,    // monitor j -> moderator: f_j(0)          (direct)
+  kMwAck = 6,           // j: "I received my shares"               (RB)
+  kMwLset = 7,          // monitor j: the confirmer set L_j        (RB)
+  kMwMset = 8,          // moderator: the accepted monitor set M   (RB)
+  kMwOk = 9,            // dealer: OK                              (RB)
+  kMwReconVal = 10,     // j: (l, f_l(j)) in reconstruct           (RB)
+  // --- SVSS (Section 4) ---
+  kSvssDealerShares = 20,  // dealer -> j: g_j, h_j points         (direct)
+  kSvssGset = 21,          // dealer: G and {G_j}                  (RB)
+  // --- Common coin (Section 5) ---
+  kCoinGset = 30,       // i: set of n-t dealers whose shares done (RB)
+  kCoinStartRecon = 31, // i: entering reconstruction, support set (RB)
+  // --- Byzantine agreement ---
+  kAbaVote = 40,        // (round, phase, value)                   (RB)
+  // --- extensions ---
+  kAcsProposal = 50,     // ACS: opaque proposal                (RB)
+  kSumPoint = 51,        // ASMPC secure sum: summed share point (RB)
+  // --- tests/examples ---
+  kTestPayload = 60,
+};
+
+// One application-level message.  `a`/`b` are small integer arguments whose
+// meaning depends on `type` (e.g. the poly index l in kMwReconVal).
+struct Message {
+  SessionId sid;
+  MsgType type = MsgType::kTestPayload;
+  std::int16_t a = -1;
+  std::int16_t b = -1;
+  FieldVec vals;
+  std::vector<int> ints;
+  Bytes blob;
+
+  [[nodiscard]] Bytes serialize() const;
+  static std::optional<Message> deserialize(const Bytes& raw);
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+// Identity of one reliable-broadcast instance: who originated it and which
+// logical slot of which session it fills.  Every process must derive the
+// same id for the same logical broadcast.
+struct BcastId {
+  std::int16_t origin = -1;
+  SessionId sid;
+  MsgType slot = MsgType::kTestPayload;
+  std::int16_t a = -1;  // disambiguates per-index slots (kMwReconVal)
+
+  friend auto operator<=>(const BcastId&, const BcastId&) = default;
+  friend bool operator==(const BcastId&, const BcastId&) = default;
+};
+
+// Phases of the RB transport (Appendix A): 1 = WRB initial send,
+// 2 = WRB echo, 3 = Bracha ready.
+enum class RbPhase : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
+
+// What actually travels on a channel: either a direct (private) application
+// message or one step of a reliable-broadcast instance.
+struct Packet {
+  bool is_rb = false;
+  Message app;     // valid when !is_rb
+  BcastId bid;     // valid when is_rb
+  RbPhase phase = RbPhase::kSend;
+  Bytes value;     // RB value payload (a serialized Message)
+
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+Packet make_direct(Message m);
+Packet make_rb(BcastId bid, RbPhase phase, Bytes value);
+
+struct SessionIdHash {
+  std::size_t operator()(const SessionId& s) const;
+};
+struct BcastIdHash {
+  std::size_t operator()(const BcastId& b) const;
+};
+
+}  // namespace svss

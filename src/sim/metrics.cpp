@@ -1,0 +1,3 @@
+#include "sim/metrics.hpp"
+
+namespace svss {}

@@ -1,0 +1,32 @@
+// Run metrics: message counts, byte counts, and causal depth.
+//
+// The paper's efficiency claim is that expected computation time, memory,
+// message size, and message count are all polynomial in n.  The simulator
+// has no wall clock, so "time" is measured as causal depth (asynchronous
+// rounds): the depth of a delivery is one more than the depth of the latest
+// delivery its sender had processed when it sent the packet.
+#pragma once
+
+#include <cstdint>
+
+namespace svss {
+
+struct Metrics {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t rb_transport_packets = 0;
+  std::uint64_t direct_packets = 0;
+  std::uint64_t max_depth = 0;  // causal depth == async rounds
+
+  void merge(const Metrics& o) {
+    packets_sent += o.packets_sent;
+    bytes_sent += o.bytes_sent;
+    packets_delivered += o.packets_delivered;
+    rb_transport_packets += o.rb_transport_packets;
+    direct_packets += o.direct_packets;
+    if (o.max_depth > max_depth) max_depth = o.max_depth;
+  }
+};
+
+}  // namespace svss

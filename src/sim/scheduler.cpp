@@ -1,0 +1,25 @@
+#include "sim/scheduler.hpp"
+
+namespace svss {
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint64_t seed, int n, int t) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed);
+    case SchedulerKind::kLifo:
+      return std::make_unique<LifoScheduler>();
+    case SchedulerKind::kDelayLastHonest: {
+      int threshold = n - t;
+      return std::make_unique<TargetedDelayScheduler>(
+          seed, [threshold](const PendingInfo& p) {
+            return p.from >= threshold || p.to >= threshold;
+          });
+    }
+  }
+  return std::make_unique<FifoScheduler>();
+}
+
+}  // namespace svss

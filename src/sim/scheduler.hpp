@@ -1,0 +1,95 @@
+// Adversarial message schedulers.
+//
+// In the paper's model the adversary controls all message delays subject to
+// eventual delivery.  Each scheduler assigns a delivery priority to a packet
+// when it is sent (smaller delivers earlier); the engine delivers in
+// priority order via a heap, so scheduling costs O(log inflight) even in
+// runs with millions of packets.  Eventual delivery is enforced
+// structurally by the engine's age cap: a packet passed over for more than
+// `max_lag` deliveries is forced through regardless of priority.  That
+// makes every scheduler a valid asynchronous adversary and keeps runs
+// finite whenever the protocol is terminating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace svss {
+
+// What a scheduler may inspect about a packet.  Payload bytes are
+// deliberately absent: channels are private.  Adversaries that need
+// content awareness corrupt processes instead of the network.
+struct PendingInfo {
+  std::uint64_t seq;  // global send order
+  int from;
+  int to;
+  bool is_rb;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  // Delivery priority for a freshly sent packet; smaller is earlier.
+  // Ties are broken by send order.
+  virtual std::uint64_t priority(const PendingInfo& p) = 0;
+};
+
+// Send order == delivery order: the benign, synchronous-looking schedule.
+class FifoScheduler : public Scheduler {
+ public:
+  std::uint64_t priority(const PendingInfo& p) override { return p.seq; }
+};
+
+// Uniformly random delivery order (a random linear extension of the send
+// sequence): the fair asynchronous schedule.
+class RandomScheduler : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+  std::uint64_t priority(const PendingInfo&) override {
+    return rng_.next_u64() >> 1;
+  }
+
+ private:
+  Rng rng_;
+};
+
+// Newest-first: maximal reordering relative to send order.
+class LifoScheduler : public Scheduler {
+ public:
+  std::uint64_t priority(const PendingInfo& p) override {
+    return ~p.seq;  // age cap still guarantees eventual delivery
+  }
+};
+
+// Targeted delay: packets matching `slow` are pushed `penalty` sends into
+// the future (and may be re-penalized only via the engine's age cap).
+// Models attacks like "starve the moderator" or "delay the last t honest
+// processes" while the rest of the network stays fast.
+class TargetedDelayScheduler : public Scheduler {
+ public:
+  using SlowPredicate = std::function<bool(const PendingInfo&)>;
+  TargetedDelayScheduler(std::uint64_t seed, SlowPredicate slow,
+                         std::uint64_t penalty = 1 << 18)
+      : rng_(seed), slow_(std::move(slow)), penalty_(penalty) {}
+  std::uint64_t priority(const PendingInfo& p) override {
+    std::uint64_t jitter = rng_.next_below(1 << 10);
+    return p.seq + jitter + (slow_(p) ? penalty_ : 0);
+  }
+
+ private:
+  Rng rng_;
+  SlowPredicate slow_;
+  std::uint64_t penalty_;
+};
+
+enum class SchedulerKind { kFifo, kRandom, kLifo, kDelayLastHonest };
+
+// Factory used by the runner config.  n/t parameterize built-in predicates
+// (kDelayLastHonest slows all traffic touching processes >= n - t).
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::uint64_t seed, int n, int t);
+
+}  // namespace svss

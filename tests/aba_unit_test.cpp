@@ -1,0 +1,232 @@
+// Step-level unit tests for the agreement round machinery: BV-broadcast
+// thresholds, AUX justification, CONF tier rules, coin fallback, and
+// DECIDE aggregation — driven through a mock host.
+#include <gtest/gtest.h>
+
+#include "aba/aba.hpp"
+#include "sim/scheduler.hpp"
+
+namespace svss {
+namespace {
+
+class Noop : public IProcess {
+ public:
+  void start(Context&) override {}
+  void on_packet(Context&, int, const Packet&) override {}
+};
+
+class MockAbaHost : public AbaHost {
+ public:
+  void rb_broadcast(Context&, const Message& m) override {
+    broadcasts.push_back(m);
+  }
+  void send_direct(Context&, int to, Message m) override {
+    directs.emplace_back(to, std::move(m));
+  }
+  void start_coin(Context&, std::uint32_t round) override {
+    coin_requests.push_back(round);
+  }
+  void aba_decided(Context&, int value, std::uint32_t round,
+                   std::uint32_t instance) override {
+    decided_value = value;
+    decided_round = round;
+    decided_instance = instance;
+  }
+
+  // Messages of a given (subtype, round) sent to process 0 (one per
+  // send_all fan-out).
+  [[nodiscard]] std::vector<int> sent_values(int subtype,
+                                             std::uint32_t round) const {
+    std::vector<int> out;
+    for (const auto& [to, m] : directs) {
+      if (to == 0 && m.b == subtype &&
+          static_cast<std::uint32_t>(m.a) == round) {
+        out.push_back(m.ints[0]);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Message> broadcasts;
+  std::vector<std::pair<int, Message>> directs;
+  std::vector<std::uint32_t> coin_requests;
+  std::optional<int> decided_value;
+  std::uint32_t decided_round = 0;
+  std::uint32_t decided_instance = 0;
+};
+
+struct AbaUnit : public ::testing::Test {
+  static constexpr int kN = 4;
+  static constexpr int kT = 1;
+
+  AbaUnit() : engine(kN, kT, 3, std::make_unique<FifoScheduler>()) {
+    for (int i = 0; i < kN; ++i) engine.set_process(i, std::make_unique<Noop>());
+  }
+
+  Message vote(std::uint32_t round, int subtype, int payload) const {
+    Message m;
+    m.sid = SessionId{SessionPath::kAba, 0, -1, -1, -1, 0};
+    m.type = MsgType::kAbaVote;
+    m.a = static_cast<std::int16_t>(round);
+    m.b = static_cast<std::int16_t>(subtype);
+    m.ints.push_back(payload);
+    return m;
+  }
+
+  Engine engine;
+  MockAbaHost host;
+};
+
+TEST_F(AbaUnit, StartSendsEstAndRequestsCoin) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kSvss, 0);
+  s.start(ctx, 1);
+  EXPECT_EQ(host.sent_values(0, 1), (std::vector<int>{1}));
+  ASSERT_EQ(host.coin_requests.size(), 1u);
+  EXPECT_EQ(host.coin_requests[0], 1u);  // instance 0, round 1
+}
+
+TEST_F(AbaUnit, InstanceNamespacesCoinRounds) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kSvss, 0, /*instance=*/3);
+  s.start(ctx, 0);
+  ASSERT_EQ(host.coin_requests.size(), 1u);
+  EXPECT_EQ(host.coin_requests[0], 3 * kCoinRoundsPerInstance + 1);
+  // Coin results for other instances are ignored.
+  s.on_coin(ctx, 1, 1);
+  s.on_coin(ctx, 3 * kCoinRoundsPerInstance + 1, 1);
+  EXPECT_TRUE(s.snapshot(1).has_coin);
+}
+
+TEST_F(AbaUnit, BvRelaysAtTPlusOneAndAcceptsAtTwoTPlusOne) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  s.start(ctx, 0);  // own EST(0) sent
+  // One EST(1) is below the relay threshold.
+  s.on_direct(ctx, 1, vote(1, 0, 1));
+  EXPECT_TRUE(host.sent_values(0, 1) == (std::vector<int>{0}));
+  // Second EST(1): t+1 = 2 -> relay.
+  s.on_direct(ctx, 2, vote(1, 0, 1));
+  EXPECT_EQ(host.sent_values(0, 1), (std::vector<int>{0, 1}));
+  EXPECT_FALSE(s.snapshot(1).bin[1]);
+  // Third distinct sender: 2t+1 = 3 -> bin accepts, AUX goes out.
+  s.on_direct(ctx, 3, vote(1, 0, 1));
+  EXPECT_TRUE(s.snapshot(1).bin[1]);
+  EXPECT_TRUE(s.snapshot(1).aux_sent);
+}
+
+TEST_F(AbaUnit, AuxRequiresJustifiedValues) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  s.start(ctx, 1);
+  // bin = {1} via ESTs (the mock host does not self-deliver, so three
+  // peers supply the 2t+1 quorum).
+  for (int from : {1, 2, 3}) s.on_direct(ctx, from, vote(1, 0, 1));
+  EXPECT_TRUE(s.snapshot(1).bin[1]);
+  // AUX(0) from 3 senders, but 0 is not in bin: V must not freeze even
+  // though n - t AUX messages are present.
+  for (int from : {1, 2, 3}) s.on_direct(ctx, from, vote(1, 1, 0));
+  EXPECT_FALSE(s.snapshot(1).v_frozen);
+  // Once 0 joins bin, the buffered AUX(0) become justified: V freezes.
+  for (int from : {1, 2, 3}) s.on_direct(ctx, from, vote(1, 0, 0));
+  EXPECT_TRUE(s.snapshot(1).v_frozen);
+  EXPECT_TRUE(s.snapshot(1).conf_sent);
+  ASSERT_EQ(host.broadcasts.size(), 1u);
+  EXPECT_EQ(host.broadcasts[0].ints[0], 1);  // encode({0}) == 1
+}
+
+// Drives a session to the CONF stage with bin = {0, 1}, V = {1}.
+void drive_to_conf(Context& ctx, AbaSession& s, AbaUnit& f) {
+  s.start(ctx, 1);
+  for (int from : {1, 2, 3}) s.on_direct(ctx, from, f.vote(1, 0, 1));
+  for (int from : {1, 2, 3}) s.on_direct(ctx, from, f.vote(1, 0, 0));
+  for (int from : {1, 2, 3}) s.on_direct(ctx, from, f.vote(1, 1, 1));
+}
+
+TEST_F(AbaUnit, ConfSupermajorityDecides) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  drive_to_conf(ctx, s, *this);
+  // 2t+1 = 3 CONF {1} singletons: decide 1 in round 1.
+  for (int from : {1, 2, 3}) s.on_broadcast(ctx, from, vote(1, 2, 2));
+  ASSERT_TRUE(s.decided());
+  EXPECT_EQ(s.decision(), 1);
+  EXPECT_EQ(s.decision_round(), 1u);
+  EXPECT_EQ(host.decided_value, 1);
+  // DECIDE(1) fan-out happened.
+  EXPECT_FALSE(host.sent_values(3, 1).empty());
+  // The session keeps participating: round 2 EST was sent.
+  EXPECT_EQ(s.current_round(), 2u);
+}
+
+TEST_F(AbaUnit, ConfMinorityAdoptsWithoutDeciding) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  drive_to_conf(ctx, s, *this);
+  // t+1 = 2 singletons {1}, one {0,1}: adopt est = 1, no decision.
+  s.on_broadcast(ctx, 1, vote(1, 2, 2));
+  s.on_broadcast(ctx, 2, vote(1, 2, 2));
+  s.on_broadcast(ctx, 3, vote(1, 2, 3));
+  EXPECT_FALSE(s.decided());
+  EXPECT_EQ(s.current_round(), 2u);
+  EXPECT_EQ(host.sent_values(0, 2), (std::vector<int>{1}));  // est carried
+}
+
+TEST_F(AbaUnit, NoTierFallsBackToCoin) {
+  Context ctx(engine, 0);
+  // Ideal coin mode: the coin is available synchronously.
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  drive_to_conf(ctx, s, *this);
+  // All CONFs are {0,1}: no singleton tier; est := coin, round advances.
+  for (int from : {1, 2, 3}) s.on_broadcast(ctx, from, vote(1, 2, 3));
+  EXPECT_FALSE(s.decided());
+  EXPECT_EQ(s.current_round(), 2u);
+}
+
+TEST_F(AbaUnit, SvssCoinArrivingLateStillAdvances) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kSvss, 0);
+  drive_to_conf(ctx, s, *this);
+  for (int from : {1, 2, 3}) s.on_broadcast(ctx, from, vote(1, 2, 3));
+  // Frozen without a coin: stuck in round 1 until the coin lands.
+  EXPECT_EQ(s.current_round(), 1u);
+  EXPECT_TRUE(s.snapshot(1).conf_frozen);
+  s.on_coin(ctx, 1, 0);
+  EXPECT_EQ(s.current_round(), 2u);
+}
+
+TEST_F(AbaUnit, DecideAggregationFromTPlusOneAnnouncements) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  s.start(ctx, 0);
+  s.on_direct(ctx, 2, vote(1, 3, 1));
+  EXPECT_FALSE(s.decided());
+  s.on_direct(ctx, 3, vote(1, 3, 1));  // t+1 = 2 announcements
+  ASSERT_TRUE(s.decided());
+  EXPECT_EQ(s.decision(), 1);
+}
+
+TEST_F(AbaUnit, MalformedVotesIgnored) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kIdealCommon, 7);
+  s.start(ctx, 1);
+  s.on_direct(ctx, 1, vote(1, 0, 7));       // non-binary value
+  s.on_direct(ctx, 1, vote(0, 0, 1));       // round 0
+  s.on_broadcast(ctx, 1, vote(1, 2, 0));    // CONF code 0 invalid
+  s.on_broadcast(ctx, 1, vote(1, 2, 9));    // CONF code out of range
+  auto snap = s.snapshot(1);
+  // No valid vote was recorded (the mock host does not self-deliver).
+  EXPECT_EQ(snap.est_senders[0] + snap.est_senders[1], 0u);
+  EXPECT_EQ(snap.conf_senders, 0u);
+}
+
+TEST_F(AbaUnit, LocalCoinModeSuppliesCoinImmediately) {
+  Context ctx(engine, 0);
+  AbaSession s(host, 0, kN, kT, CoinMode::kLocal, 0);
+  s.start(ctx, 0);
+  EXPECT_TRUE(s.snapshot(1).has_coin);
+  EXPECT_TRUE(host.coin_requests.empty());
+}
+
+}  // namespace
+}  // namespace svss

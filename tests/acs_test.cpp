@@ -1,0 +1,102 @@
+// Protocol tests: Agreement on a Common Subset over n parallel ABA
+// instances.
+//
+// Properties: all honest processes output the same subset with identical
+// proposals; the subset has >= n - t members; members that some honest
+// process vouched for dominate; silent processes can be excluded but never
+// split the output.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  c.scheduler = SchedulerKind::kRandom;
+  return c;
+}
+
+std::vector<Bytes> numbered_proposals(int n) {
+  std::vector<Bytes> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Bytes{static_cast<std::uint8_t>(0xA0 + i)});
+  }
+  return out;
+}
+
+TEST(Acs, AllHonestAgreeOnFullSubset) {
+  Runner r(cfg(4, 1, 71));
+  auto res = r.run_acs(numbered_proposals(4));
+  ASSERT_TRUE(res.all_output);
+  EXPECT_TRUE(res.agreed);
+  const auto& subset = res.outputs.begin()->second;
+  EXPECT_GE(static_cast<int>(subset.size()), 3);
+  for (const auto& [j, proposal] : subset) {
+    ASSERT_EQ(proposal.size(), 1u);
+    EXPECT_EQ(proposal[0], 0xA0 + j);
+  }
+}
+
+TEST(Acs, AgreesAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Runner r(cfg(4, 1, 700 + seed));
+    auto res = r.run_acs(numbered_proposals(4));
+    ASSERT_TRUE(res.all_output) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+    EXPECT_GE(static_cast<int>(res.outputs.begin()->second.size()), 3)
+        << seed;
+  }
+}
+
+TEST(Acs, SilentProcessMayBeExcludedNeverSplits) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto c = cfg(4, 1, 800 + seed);
+    c.faults[3] = ByzConfig{ByzKind::kSilent};
+    Runner r(c);
+    auto res = r.run_acs(numbered_proposals(4));
+    ASSERT_TRUE(res.all_output) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+    const auto& subset = res.outputs.begin()->second;
+    EXPECT_GE(static_cast<int>(subset.size()), 3) << seed;
+    // The silent process can never be in the subset: nobody vouched.
+    for (const auto& [j, proposal] : subset) EXPECT_NE(j, 3) << seed;
+  }
+}
+
+TEST(Acs, ByzantineProcessCannotSplitSubset) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto c = cfg(4, 1, 900 + seed);
+    c.faults[2] = ByzConfig{ByzKind::kBitFlip, 0, 0.2};
+    Runner r(c);
+    auto res = r.run_acs(numbered_proposals(4));
+    ASSERT_TRUE(res.all_output) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+  }
+}
+
+TEST(Acs, SevenProcessesTwoSilent) {
+  auto c = cfg(7, 2, 72);
+  c.faults[5] = ByzConfig{ByzKind::kSilent};
+  c.faults[6] = ByzConfig{ByzKind::kSilent};
+  Runner r(c);
+  auto res = r.run_acs(numbered_proposals(7));
+  ASSERT_TRUE(res.all_output);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_GE(static_cast<int>(res.outputs.begin()->second.size()), 5);
+}
+
+TEST(Acs, WorksWithSvssCoin) {
+  // Full-stack composition: n ABA instances, each with SVSS coin rounds.
+  Runner r(cfg(4, 1, 73));
+  auto res = r.run_acs(numbered_proposals(4), CoinMode::kSvss);
+  ASSERT_TRUE(res.all_output);
+  EXPECT_TRUE(res.agreed);
+}
+
+}  // namespace
+}  // namespace svss

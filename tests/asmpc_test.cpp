@@ -1,0 +1,124 @@
+// Protocol tests: ASMPC secure sum (the paper's Section 6 extension).
+//
+// Correctness: every honest process outputs the same value, equal to the
+// sum of the inputs of the agreed core; the core has >= n - t members and
+// always contains all honest parties whose sharing completed.  Privacy is
+// structural (only summed points are ever broadcast) and is checked at the
+// algebra level in bivariate_test; here we validate the end-to-end
+// functionality under faults.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  return c;
+}
+
+std::uint64_t expected_sum(const std::vector<Fp>& inputs,
+                           const std::set<int>& core) {
+  Fp sum(0);
+  for (int d : core) sum += inputs[static_cast<std::size_t>(d)];
+  return sum.value();
+}
+
+TEST(SecureSum, AllHonestSumsEveryInput) {
+  std::vector<Fp> inputs{Fp(10), Fp(20), Fp(31), Fp(44)};
+  Runner r(cfg(4, 1, 81));
+  auto res = r.run_secure_sum(inputs);
+  ASSERT_TRUE(res.all_output);
+  EXPECT_TRUE(res.agreed);
+  const auto& core = res.cores.begin()->second;
+  EXPECT_GE(static_cast<int>(core.size()), 3);
+  EXPECT_EQ(res.outputs.begin()->second, expected_sum(inputs, core));
+}
+
+TEST(SecureSum, AgreementAcrossSeeds) {
+  std::vector<Fp> inputs{Fp(7), Fp(100), Fp(3000), Fp(99999)};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Runner r(cfg(4, 1, 8000 + seed));
+    auto res = r.run_secure_sum(inputs);
+    ASSERT_TRUE(res.all_output) << seed;
+    ASSERT_TRUE(res.agreed) << seed;
+    // Every honest process reports the same core and the matching sum.
+    for (const auto& [i, core] : res.cores) {
+      EXPECT_EQ(core, res.cores.begin()->second) << seed;
+    }
+    EXPECT_EQ(res.outputs.begin()->second,
+              expected_sum(inputs, res.cores.begin()->second))
+        << seed;
+  }
+}
+
+TEST(SecureSum, SilentPartyExcludedFromSum) {
+  std::vector<Fp> inputs{Fp(1), Fp(2), Fp(4), Fp(8)};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto c = cfg(4, 1, 8100 + seed);
+    c.faults[3] = ByzConfig{ByzKind::kSilent};
+    Runner r(c);
+    auto res = r.run_secure_sum(inputs);
+    ASSERT_TRUE(res.all_output) << seed;
+    ASSERT_TRUE(res.agreed) << seed;
+    const auto& core = res.cores.begin()->second;
+    EXPECT_EQ(core.count(3), 0u) << seed;  // never shared -> never included
+    EXPECT_EQ(res.outputs.begin()->second, expected_sum(inputs, core))
+        << seed;
+  }
+}
+
+// A party that lies in the *reveal* phase (wrong summed point) is
+// corrected by online error correction: the output is still the true sum.
+TEST(SecureSum, RevealPhaseLiesCorrectedByOec) {
+  std::vector<Fp> inputs{Fp(5), Fp(6), Fp(7), Fp(8)};
+  int corrected_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto c = cfg(4, 1, 8200 + seed);
+    // kBitFlip corrupts field values in outbound messages, including the
+    // kSumPoint broadcast, with high probability.
+    c.faults[3] = ByzConfig{ByzKind::kBitFlip, 0, 0.9};
+    Runner r(c);
+    auto res = r.run_secure_sum(inputs);
+    if (!res.all_output) continue;  // input sharing itself may stall
+    ASSERT_TRUE(res.agreed) << seed;
+    const auto& core = res.cores.begin()->second;
+    EXPECT_EQ(res.outputs.begin()->second, expected_sum(inputs, core))
+        << seed;
+    ++corrected_runs;
+  }
+  EXPECT_GT(corrected_runs, 0);
+}
+
+TEST(SecureSum, SevenParties) {
+  std::vector<Fp> inputs;
+  for (int i = 0; i < 7; ++i) inputs.push_back(Fp(1 << i));
+  auto c = cfg(7, 2, 83);
+  c.faults[6] = ByzConfig{ByzKind::kSilent};
+  Runner r(c);
+  auto res = r.run_secure_sum(inputs);
+  ASSERT_TRUE(res.all_output);
+  ASSERT_TRUE(res.agreed);
+  EXPECT_EQ(res.outputs.begin()->second,
+            expected_sum(inputs, res.cores.begin()->second));
+}
+
+TEST(SecureSum, SumWrapsInField) {
+  // Inputs summing beyond the modulus reduce correctly.
+  std::int64_t big = static_cast<std::int64_t>(Fp::kModulus) - 3;
+  std::vector<Fp> inputs{Fp(big), Fp(big), Fp(big), Fp(big)};
+  Runner r(cfg(4, 1, 84));
+  auto res = r.run_secure_sum(inputs);
+  ASSERT_TRUE(res.all_output);
+  const auto& core = res.cores.begin()->second;
+  EXPECT_EQ(res.outputs.begin()->second, expected_sum(inputs, core));
+}
+
+}  // namespace
+}  // namespace svss

@@ -1,0 +1,120 @@
+// Protocol tests: the two baseline agreement protocols the paper's
+// introduction compares against.
+//
+//  * Ben-Or 1983 (n > 5t, local coins): almost-surely terminating but
+//    exponential expected rounds as n grows.
+//  * Bracha-structured agreement with private (local) coins at n > 3t:
+//    our AbaSession in CoinMode::kLocal — same safety machinery as the
+//    paper's protocol, only the coin differs.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  c.scheduler = SchedulerKind::kRandom;
+  return c;
+}
+
+// --- Ben-Or ------------------------------------------------------------
+TEST(BenOr, UnanimousInputDecidesRoundOne) {
+  Runner r(cfg(6, 1, 61));
+  auto res = r.run_benor({1, 1, 1, 1, 1, 1});
+  ASSERT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.value, 1);
+  EXPECT_EQ(res.max_round, 1u);
+}
+
+TEST(BenOr, MixedInputsAgree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Runner r(cfg(6, 1, 100 + seed));
+    auto res = r.run_benor({0, 1, 0, 1, 0, 1});
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+  }
+}
+
+TEST(BenOr, ToleratesSilentFaultAtNGreaterThan5T) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto c = cfg(6, 1, 200 + seed);
+    c.faults[5] = ByzConfig{ByzKind::kSilent};
+    Runner r(c);
+    auto res = r.run_benor({0, 1, 0, 1, 0, 1});
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+  }
+}
+
+TEST(BenOr, ToleratesBitFlippingFault) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto c = cfg(6, 1, 300 + seed);
+    c.faults[5] = ByzConfig{ByzKind::kBitFlip, 0, 0.2};
+    Runner r(c);
+    auto res = r.run_benor({1, 0, 1, 0, 1, 0});
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+  }
+}
+
+// --- Bracha-style local-coin agreement (n > 3t) ------------------------
+TEST(LocalCoinAba, UnanimousInputDecides) {
+  Runner r(cfg(4, 1, 62));
+  auto res = r.run_aba({0, 0, 0, 0}, CoinMode::kLocal);
+  ASSERT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.value, 0);
+}
+
+TEST(LocalCoinAba, MixedInputsAgreeDespiteLocalCoins) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Runner r(cfg(4, 1, 400 + seed));
+    auto res = r.run_aba({0, 1, 0, 1}, CoinMode::kLocal);
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+  }
+}
+
+TEST(LocalCoinAba, ByzantineFaultStillSafe) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto c = cfg(4, 1, 500 + seed);
+    c.faults[3] = ByzConfig{ByzKind::kBitFlip, 0, 0.2};
+    Runner r(c);
+    auto res = r.run_aba({0, 1, 1, 0}, CoinMode::kLocal);
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+  }
+}
+
+// The headline contrast: local coins need many more rounds than a common
+// coin at the same system size, because progress requires independent
+// coins to align.  (The full exponential-vs-polynomial curve is measured
+// in bench_baselines; here we assert the direction on a medium size.)
+TEST(LocalCoinAba, NeedsMoreRoundsThanCommonCoin) {
+  std::uint64_t local_total = 0;
+  std::uint64_t common_total = 0;
+  constexpr int kRuns = 8;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    Runner rl(cfg(10, 3, 600 + seed));
+    std::vector<int> inputs;
+    for (int i = 0; i < 10; ++i) inputs.push_back(i % 2);
+    auto res_local = rl.run_aba(inputs, CoinMode::kLocal);
+    ASSERT_TRUE(res_local.all_decided) << seed;
+    local_total += res_local.max_round;
+
+    Runner rc(cfg(10, 3, 600 + seed));
+    auto res_common = rc.run_aba(inputs, CoinMode::kIdealCommon);
+    ASSERT_TRUE(res_common.all_decided) << seed;
+    common_total += res_common.max_round;
+  }
+  EXPECT_GT(local_total, common_total);
+}
+
+}  // namespace
+}  // namespace svss

@@ -1,0 +1,141 @@
+// Unit tests: bivariate polynomials — slicing, cross-consistency, grid
+// interpolation (the algebra behind SVSS).
+#include "common/bivariate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace svss {
+namespace {
+
+TEST(Bivariate, SecretIsConstantTerm) {
+  Rng rng(1);
+  auto f = BivariatePolynomial::random_with_secret(Fp(4242), 3, rng);
+  EXPECT_EQ(f.secret(), Fp(4242));
+  EXPECT_EQ(f.eval(Fp(0), Fp(0)), Fp(4242));
+}
+
+TEST(Bivariate, RowAndColumnMatchEval) {
+  Rng rng(2);
+  auto f = BivariatePolynomial::random_with_secret(Fp(7), 2, rng);
+  for (int j = 1; j <= 5; ++j) {
+    Polynomial g = f.row(j);
+    Polynomial h = f.column(j);
+    for (int x = 0; x <= 6; ++x) {
+      EXPECT_EQ(g.eval(Fp(x)), f.eval(Fp(j), Fp(x)));
+      EXPECT_EQ(h.eval(Fp(x)), f.eval(Fp(x), Fp(j)));
+    }
+  }
+}
+
+// The pairwise consistency SVSS relies on: h_k(l) == g_l(k) for all k, l.
+TEST(Bivariate, CrossConsistencyOfSlices) {
+  Rng rng(3);
+  auto f = BivariatePolynomial::random_with_secret(Fp(99), 4, rng);
+  for (int k = 1; k <= 6; ++k) {
+    for (int l = 1; l <= 6; ++l) {
+      EXPECT_EQ(f.column(k).eval(Fp(l)), f.row(l).eval(Fp(k)));
+    }
+  }
+}
+
+// The monitored points g_j(0) = f(j, 0) interpolate to the secret — this
+// is what makes t+1 surviving rows enough for reconstruction.
+TEST(Bivariate, MonitoredPointsInterpolateToSecret) {
+  Rng rng(4);
+  int t = 2;
+  auto f = BivariatePolynomial::random_with_secret(Fp(31337), t, rng);
+  std::vector<std::pair<Fp, Fp>> pts;
+  for (int j = 1; j <= t + 1; ++j) pts.emplace_back(Fp(j), f.row(j).eval(Fp(0)));
+  Polynomial p = Polynomial::interpolate(pts);
+  EXPECT_EQ(p.constant(), Fp(31337));
+}
+
+TEST(Bivariate, InterpolateCheckedRecoversPolynomial) {
+  Rng rng(5);
+  int deg = 3;
+  auto f = BivariatePolynomial::random_with_secret(Fp(606), deg, rng);
+  std::vector<Fp> xs;
+  std::vector<std::vector<std::pair<Fp, Fp>>> rows;
+  for (int k = 1; k <= deg + 2; ++k) {  // oversampled grid
+    xs.push_back(Fp(k));
+    std::vector<std::pair<Fp, Fp>> row;
+    for (int l = 1; l <= deg + 3; ++l) {
+      row.emplace_back(Fp(l), f.eval(Fp(k), Fp(l)));
+    }
+    rows.push_back(std::move(row));
+  }
+  auto g = BivariatePolynomial::interpolate_checked(xs, rows, deg);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g, f);
+}
+
+TEST(Bivariate, InterpolateCheckedRejectsCorruptEntry) {
+  Rng rng(6);
+  int deg = 2;
+  auto f = BivariatePolynomial::random_with_secret(Fp(1), deg, rng);
+  std::vector<Fp> xs;
+  std::vector<std::vector<std::pair<Fp, Fp>>> rows;
+  for (int k = 1; k <= deg + 2; ++k) {
+    xs.push_back(Fp(k));
+    std::vector<std::pair<Fp, Fp>> row;
+    for (int l = 1; l <= deg + 2; ++l) {
+      row.emplace_back(Fp(l), f.eval(Fp(k), Fp(l)));
+    }
+    rows.push_back(std::move(row));
+  }
+  rows[3][3].second += Fp(1);
+  EXPECT_FALSE(
+      BivariatePolynomial::interpolate_checked(xs, rows, deg).has_value());
+}
+
+TEST(Bivariate, InterpolateCheckedRejectsTooFewRows) {
+  std::vector<Fp> xs{Fp(1), Fp(2)};
+  std::vector<std::vector<std::pair<Fp, Fp>>> rows(2);
+  EXPECT_FALSE(BivariatePolynomial::interpolate_checked(xs, rows, 2));
+}
+
+// Hiding basis: t points of the secret column f(0, 1..t) cannot pin down
+// f(0, 0) — any candidate secret remains consistent.
+TEST(Bivariate, LeakedPointsConsistentWithAnySecret) {
+  Rng rng(7);
+  int t = 2;
+  auto f = BivariatePolynomial::random_with_secret(Fp(1000), t, rng);
+  std::vector<std::pair<Fp, Fp>> leaked;
+  for (int j = 1; j <= t; ++j) leaked.emplace_back(Fp(j), f.eval(Fp(0), Fp(j)));
+  for (std::int64_t fake = 0; fake < 20; ++fake) {
+    auto pts = leaked;
+    pts.emplace_back(Fp(0), Fp(fake));
+    Polynomial q = Polynomial::interpolate(pts);
+    EXPECT_EQ(q.constant(), Fp(fake));
+    for (const auto& [x, y] : leaked) EXPECT_EQ(q.eval(x), y);
+  }
+}
+
+class BivariateDegreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BivariateDegreeSweep, GridRoundTrip) {
+  int deg = GetParam();
+  Rng rng(50 + static_cast<std::uint64_t>(deg));
+  auto f = BivariatePolynomial::random_with_secret(rng.next_field(), deg, rng);
+  std::vector<Fp> xs;
+  std::vector<std::vector<std::pair<Fp, Fp>>> rows;
+  for (int k = 1; k <= deg + 1; ++k) {
+    xs.push_back(Fp(k));
+    std::vector<std::pair<Fp, Fp>> row;
+    for (int l = 1; l <= deg + 1; ++l) {
+      row.emplace_back(Fp(l), f.eval(Fp(k), Fp(l)));
+    }
+    rows.push_back(std::move(row));
+  }
+  auto g = BivariatePolynomial::interpolate_checked(xs, rows, deg);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->secret(), f.secret());
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BivariateDegreeSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace svss

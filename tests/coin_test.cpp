@@ -1,0 +1,144 @@
+// Protocol tests: the shunning common coin (Section 5, Definition 2).
+//
+// SCC properties: termination (all honest output a bit) and correctness —
+// per invocation, either each sigma in {0,1} comes up unanimously with
+// probability >= 1/4, or some honest process starts shunning some faulty
+// process.  Probability bounds are checked empirically over seed sweeps.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed,
+                 SchedulerKind sched = SchedulerKind::kRandom) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  c.scheduler = sched;
+  return c;
+}
+
+TEST(Coin, TerminatesAllHonest) {
+  Runner r(cfg(4, 1, 31));
+  auto res = r.run_coin();
+  EXPECT_TRUE(res.all_output);
+  EXPECT_EQ(res.status, RunStatus::kQuiescent);
+  EXPECT_TRUE(res.shun_pairs.empty());
+}
+
+TEST(Coin, TerminatesUnderHostileSchedulers) {
+  for (auto sched : {SchedulerKind::kFifo, SchedulerKind::kLifo,
+                     SchedulerKind::kDelayLastHonest}) {
+    Runner r(cfg(4, 1, 32, sched));
+    auto res = r.run_coin();
+    EXPECT_TRUE(res.all_output);
+  }
+}
+
+TEST(Coin, TerminatesWithSilentFault) {
+  auto c = cfg(4, 1, 33);
+  c.faults[3] = ByzConfig{ByzKind::kSilent};
+  Runner r(c);
+  auto res = r.run_coin();
+  EXPECT_TRUE(res.all_output);
+}
+
+// Empirical Definition 2: for each sigma, the probability that *all*
+// honest processes output sigma is at least 1/4.  (Mixed runs are allowed
+// by the definition — this is a weak common coin.)  Over 40 honest runs,
+// fewer than 4 unanimous-0 or unanimous-1 outcomes would be a < 1e-4
+// probability event under the guaranteed floor.
+TEST(Coin, UnanimousOutcomesFrequentWhenHonest) {
+  int unanimous[2] = {0, 0};
+  int mixed = 0;
+  constexpr int kRuns = 40;
+  for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
+    Runner r(cfg(4, 1, 1000 + seed));
+    auto res = r.run_coin();
+    ASSERT_TRUE(res.all_output) << seed;
+    EXPECT_TRUE(res.shun_pairs.empty()) << seed;
+    if (res.agreed) {
+      unanimous[res.bits.begin()->second]++;
+    } else {
+      ++mixed;
+    }
+  }
+  EXPECT_GE(unanimous[0], 4) << "unanimous-0 runs: " << unanimous[0];
+  EXPECT_GE(unanimous[1], 4) << "unanimous-1 runs: " << unanimous[1];
+  (void)mixed;
+}
+
+// With adversarial dealers the coin must still terminate, any shunning
+// must be sound (honest shunner, faulty suspect), and unanimity must not
+// vanish across a seed sweep.
+TEST(Coin, AdversarialDealerTerminatesAndShunsSoundly) {
+  int unanimous = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto c = cfg(4, 1, seed);
+    c.faults[2] = ByzConfig{ByzKind::kWrongRecon};
+    Runner r(c);
+    auto res = r.run_coin();
+    ASSERT_TRUE(res.all_output) << seed;
+    if (res.agreed) ++unanimous;
+    for (const auto& [i, j] : res.shun_pairs) {
+      EXPECT_NE(i, 2);
+      EXPECT_EQ(j, 2);
+    }
+  }
+  EXPECT_GT(unanimous, 0);
+}
+
+TEST(Coin, EquivocatingDealerTerminatesOrStallsCleanly) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto c = cfg(4, 1, seed);
+    c.faults[1] = ByzConfig{ByzKind::kEquivocate};
+    Runner r(c);
+    auto res = r.run_coin();
+    EXPECT_EQ(res.status, RunStatus::kQuiescent) << seed;  // never livelocks
+    for (const auto& [i, j] : res.shun_pairs) {
+      EXPECT_NE(i, 1);
+      EXPECT_EQ(j, 1);
+    }
+  }
+}
+
+// Distinct rounds are independent sessions: both can run to completion in
+// one engine without interference.
+TEST(Coin, TwoRoundsBackToBack) {
+  Runner r(cfg(4, 1, 35));
+  auto res1 = r.run_coin(1);
+  EXPECT_TRUE(res1.all_output);
+  // Start round 2 manually on the same engine.
+  for (int i = 0; i < 4; ++i) {
+    Context c = r.ctx(i);
+    r.node(i).coin(c, 2).start(c);
+  }
+  r.engine().run_until([&] {
+    for (int i : r.honest_ids()) {
+      const CoinSession* cs = r.node(i).find_coin(2);
+      if (cs == nullptr || !cs->has_output()) return false;
+    }
+    return true;
+  });
+  for (int i : r.honest_ids()) {
+    const CoinSession* cs = r.node(i).find_coin(2);
+    ASSERT_NE(cs, nullptr);
+    EXPECT_TRUE(cs->has_output());
+  }
+}
+
+// The coin's message cost is polynomial: n^2 SVSS sessions dominate.
+TEST(Coin, MessageComplexityPolynomial) {
+  Runner r(cfg(4, 1, 36));
+  auto res = r.run_coin();
+  ASSERT_TRUE(res.all_output);
+  // 16 SVSS sessions at ~25k packets each for n=4 lands near 4e5; assert
+  // a generous upper bound that still rules out super-polynomial blowup.
+  EXPECT_LT(res.metrics.packets_sent, 3'000'000u);
+}
+
+}  // namespace
+}  // namespace svss

@@ -1,0 +1,106 @@
+// Unit tests: GF(2^31 - 1) arithmetic laws and edge cases.
+#include "common/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace svss {
+namespace {
+
+TEST(Field, ZeroAndOneIdentities) {
+  Fp a(12345);
+  EXPECT_EQ(a + Fp(0), a);
+  EXPECT_EQ(a * Fp(1), a);
+  EXPECT_EQ(a * Fp(0), Fp(0));
+  EXPECT_EQ(a - a, Fp(0));
+}
+
+TEST(Field, SignedReduction) {
+  EXPECT_EQ(Fp(-1), Fp(static_cast<std::int64_t>(Fp::kModulus) - 1));
+  EXPECT_EQ(Fp(static_cast<std::int64_t>(Fp::kModulus)), Fp(0));
+  EXPECT_EQ(Fp(2 * static_cast<std::int64_t>(Fp::kModulus) + 5), Fp(5));
+}
+
+TEST(Field, AdditionWrapsAtModulus) {
+  Fp max(static_cast<std::int64_t>(Fp::kModulus) - 1);
+  EXPECT_EQ(max + Fp(1), Fp(0));
+  EXPECT_EQ(max + Fp(2), Fp(1));
+}
+
+TEST(Field, NegationIsAdditiveInverse) {
+  for (std::int64_t v : {0LL, 1LL, 77LL, 1LL << 30}) {
+    Fp a(v);
+    EXPECT_EQ(a + (-a), Fp(0)) << v;
+  }
+}
+
+TEST(Field, MersenneReductionMatchesNaive) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t a = rng.next_below(Fp::kModulus);
+    std::uint64_t b = rng.next_below(Fp::kModulus);
+    Fp prod = Fp(static_cast<std::int64_t>(a)) * Fp(static_cast<std::int64_t>(b));
+    // Naive 128-bit reference.
+    unsigned __int128 wide = static_cast<unsigned __int128>(a) * b;
+    EXPECT_EQ(prod.value(), static_cast<std::uint64_t>(wide % Fp::kModulus));
+  }
+}
+
+TEST(Field, InverseIsMultiplicativeInverse) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    Fp a = rng.next_field();
+    if (a == Fp(0)) continue;
+    EXPECT_EQ(a * a.inverse(), Fp(1));
+  }
+}
+
+TEST(Field, InverseOfZeroIsZeroByConvention) {
+  EXPECT_EQ(Fp(0).inverse(), Fp(0));
+}
+
+TEST(Field, PowMatchesRepeatedMultiplication) {
+  Fp base(3);
+  Fp acc(1);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(base.pow(e), acc);
+    acc *= base;
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    Fp a = rng.next_field();
+    if (a == Fp(0)) continue;
+    EXPECT_EQ(a.pow(Fp::kModulus - 1), Fp(1));
+  }
+}
+
+TEST(Field, AssociativityAndDistributivityRandomized) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    Fp a = rng.next_field();
+    Fp b = rng.next_field();
+    Fp c = rng.next_field();
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(Field, SubtractionInvertsAddition) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Fp a = rng.next_field();
+    Fp b = rng.next_field();
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+}  // namespace
+}  // namespace svss

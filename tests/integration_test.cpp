@@ -1,0 +1,96 @@
+// Integration tests: the full stack, layer by layer and end to end, under
+// benign and adversarial schedules with mixed fault types.
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig base_config(int n, int t, std::uint64_t seed,
+                         SchedulerKind sched = SchedulerKind::kRandom) {
+  RunnerConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.seed = seed;
+  cfg.scheduler = sched;
+  return cfg;
+}
+
+// --- MW-SVSS, all honest ---
+TEST(Integration, MwSvssHappyPathReconstructsSecret) {
+  Runner r(base_config(4, 1, 42));
+  auto res = r.run_mwsvss(Fp(123456), Fp(123456));
+  EXPECT_TRUE(res.all_honest_shared);
+  EXPECT_TRUE(res.all_honest_output);
+  EXPECT_EQ(res.status, RunStatus::kQuiescent);
+  for (const auto& [i, out] : res.outputs) {
+    ASSERT_TRUE(out.has_value()) << "process " << i;
+    EXPECT_EQ(*out, Fp(123456)) << "process " << i;
+  }
+  EXPECT_TRUE(res.shun_pairs.empty());
+}
+
+// --- SVSS, all honest ---
+TEST(Integration, SvssHappyPathReconstructsSecret) {
+  Runner r(base_config(4, 1, 43));
+  auto res = r.run_svss(Fp(987654));
+  EXPECT_TRUE(res.all_honest_shared);
+  EXPECT_TRUE(res.all_honest_output);
+  for (const auto& [i, out] : res.outputs) {
+    ASSERT_TRUE(out.has_value()) << "process " << i;
+    EXPECT_EQ(*out, Fp(987654)) << "process " << i;
+  }
+  EXPECT_TRUE(res.shun_pairs.empty());
+}
+
+// --- SVSS with one silent process (crash fault) ---
+TEST(Integration, SvssToleratesSilentProcess) {
+  auto cfg = base_config(4, 1, 44);
+  cfg.faults[3] = ByzConfig{ByzKind::kSilent};
+  Runner r(cfg);
+  auto res = r.run_svss(Fp(55555));
+  EXPECT_TRUE(res.all_honest_shared);
+  EXPECT_TRUE(res.all_honest_output);
+  for (const auto& [i, out] : res.outputs) {
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, Fp(55555));
+  }
+}
+
+// --- common coin, all honest ---
+TEST(Integration, CoinAllHonestAgrees) {
+  Runner r(base_config(4, 1, 45));
+  auto res = r.run_coin();
+  EXPECT_TRUE(res.all_output);
+  EXPECT_TRUE(res.agreed);
+}
+
+// --- agreement with the ideal-common-coin abstraction ---
+TEST(Integration, AbaIdealCoinMixedInputs) {
+  Runner r(base_config(4, 1, 46));
+  auto res = r.run_aba({0, 1, 0, 1}, CoinMode::kIdealCommon);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+}
+
+// --- the paper's full protocol: SVSS coin, all honest ---
+TEST(Integration, AbaSvssCoinUnanimousInput) {
+  Runner r(base_config(4, 1, 47));
+  auto res = r.run_aba({1, 1, 1, 1}, CoinMode::kSvss);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.value, 1);  // validity: unanimous input decides that input
+}
+
+TEST(Integration, AbaSvssCoinMixedInputsWithSilentFault) {
+  auto cfg = base_config(4, 1, 48);
+  cfg.faults[3] = ByzConfig{ByzKind::kSilent};
+  Runner r(cfg);
+  auto res = r.run_aba({0, 1, 1, 0}, CoinMode::kSvss);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+}
+
+}  // namespace
+}  // namespace svss

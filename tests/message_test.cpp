@@ -1,0 +1,150 @@
+// Unit tests: message/session-id model — serialization round trips,
+// parent-session derivation, hashing, and hostile-input parsing.
+#include "sim/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace svss {
+namespace {
+
+SessionId sample_sid() {
+  SessionId sid;
+  sid.path = SessionPath::kMwInSvssCoin;
+  sid.variant = 1;
+  sid.owner = 3;
+  sid.moderator = 5;
+  sid.svss_dealer = 2;
+  sid.counter = 777;
+  return sid;
+}
+
+TEST(Message, SerializeDeserializeRoundTrip) {
+  Message m;
+  m.sid = sample_sid();
+  m.type = MsgType::kMwReconVal;
+  m.a = 4;
+  m.b = -1;
+  m.vals = {Fp(10), Fp(20)};
+  m.ints = {1, 2, 3};
+  m.blob = {9, 8, 7};
+  auto rt = Message::deserialize(m.serialize());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(*rt, m);
+}
+
+TEST(Message, EmptyFieldsRoundTrip) {
+  Message m;
+  m.sid.path = SessionPath::kAba;
+  m.type = MsgType::kAbaVote;
+  auto rt = Message::deserialize(m.serialize());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(*rt, m);
+}
+
+TEST(Message, TrailingGarbageRejected) {
+  Message m;
+  m.type = MsgType::kMwAck;
+  Bytes buf = m.serialize();
+  buf.push_back(0);
+  EXPECT_FALSE(Message::deserialize(buf).has_value());
+}
+
+TEST(Message, TruncationRejected) {
+  Message m;
+  m.type = MsgType::kMwLset;
+  m.ints = {1, 2, 3, 4};
+  Bytes buf = m.serialize();
+  for (std::size_t cut = 1; cut < buf.size(); cut += 3) {
+    Bytes shorter(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(Message::deserialize(shorter).has_value()) << cut;
+  }
+}
+
+TEST(Message, InvalidPathByteRejected) {
+  Message m;
+  Bytes buf = m.serialize();
+  buf[0] = 0xFF;
+  EXPECT_FALSE(Message::deserialize(buf).has_value());
+}
+
+TEST(Message, RandomBytesDoNotCrash) {
+  Rng rng(3);
+  for (int len = 0; len < 64; ++len) {
+    Bytes buf;
+    for (int i = 0; i < len; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    (void)Message::deserialize(buf);  // must not crash; result irrelevant
+  }
+}
+
+TEST(SessionId, ParentOfNestedMwIsItsSvss) {
+  SessionId child = sample_sid();
+  auto parent = parent_session(child);
+  ASSERT_TRUE(parent.has_value());
+  EXPECT_EQ(parent->path, SessionPath::kSvssCoin);
+  EXPECT_EQ(parent->owner, child.svss_dealer);
+  EXPECT_EQ(parent->counter, child.counter);
+}
+
+TEST(SessionId, ParentOfCoinSvssIsItsCoinRound) {
+  SessionId svss;
+  svss.path = SessionPath::kSvssCoin;
+  svss.owner = 1;
+  svss.counter = 5 * kMaxN + 3;  // round 5, attachee 3
+  auto parent = parent_session(svss);
+  ASSERT_TRUE(parent.has_value());
+  EXPECT_EQ(parent->path, SessionPath::kCoin);
+  EXPECT_EQ(parent->counter, 5u);
+}
+
+TEST(SessionId, TopLevelSessionsHaveNoParent) {
+  SessionId mw;
+  mw.path = SessionPath::kMwTop;
+  EXPECT_FALSE(parent_session(mw).has_value());
+  SessionId svss;
+  svss.path = SessionPath::kSvssTop;
+  EXPECT_FALSE(parent_session(svss).has_value());
+}
+
+TEST(SessionId, HashDistinguishesFields) {
+  std::unordered_set<std::size_t> hashes;
+  SessionIdHash h;
+  SessionId base = sample_sid();
+  hashes.insert(h(base));
+  for (int i = 0; i < 50; ++i) {
+    SessionId s = base;
+    s.counter = static_cast<std::uint32_t>(i);
+    hashes.insert(h(s));
+  }
+  EXPECT_GT(hashes.size(), 45u);  // near-perfect distribution on this set
+}
+
+TEST(BcastId, OrderingAndEquality) {
+  BcastId a{1, sample_sid(), MsgType::kMwAck, -1};
+  BcastId b = a;
+  EXPECT_EQ(a, b);
+  b.a = 3;
+  EXPECT_NE(a, b);
+  BcastIdHash h;
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(Packet, WireSizeCountsPayload) {
+  Message m;
+  m.vals.assign(100, Fp(1));
+  Packet small = make_direct(Message{});
+  Packet large = make_direct(m);
+  EXPECT_GT(large.wire_size(), small.wire_size() + 390);
+}
+
+TEST(SessionId, StrIsHumanReadable) {
+  EXPECT_NE(sample_sid().str().find("mw/svss/coin"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svss

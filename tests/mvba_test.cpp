@@ -1,0 +1,100 @@
+// Protocol tests: multivalued agreement via the Turpin-Coan reduction.
+//
+// Properties (n > 3t): agreement — all honest decide the same value;
+// validity — unanimous honest proposals are the only possible decision;
+// fallback — under hopeless disagreement the decision may be the default
+// value but never a fabricated one (decision is always some process's
+// proposal or the default).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  return c;
+}
+
+constexpr std::int64_t kDefault = 0xDEF;
+
+TEST(Mvba, UnanimousProposalDecidesIt) {
+  std::vector<Fp> props(4, Fp(31415));
+  Runner r(cfg(4, 1, 91));
+  auto res = r.run_mvba(props, Fp(kDefault));
+  ASSERT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.value, 31415u);
+}
+
+TEST(Mvba, UnanimousHonestWithByzantineMinority) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto c = cfg(4, 1, 9100 + seed);
+    c.faults[3] = ByzConfig{ByzKind::kBitFlip, 0, 0.3};
+    Runner r(c);
+    std::vector<Fp> props{Fp(777), Fp(777), Fp(777), Fp(123)};
+    auto res = r.run_mvba(props, Fp(kDefault));
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+    EXPECT_EQ(res.value, 777u) << seed;
+  }
+}
+
+TEST(Mvba, SplitProposalsAgreeOnSomething) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Runner r(cfg(4, 1, 9200 + seed));
+    std::vector<Fp> props{Fp(1), Fp(2), Fp(3), Fp(4)};
+    auto res = r.run_mvba(props, Fp(kDefault));
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+    // Decision is a proposal or the default — never fabricated.
+    std::set<std::uint64_t> legal{1, 2, 3, 4,
+                                  static_cast<std::uint64_t>(kDefault)};
+    EXPECT_TRUE(legal.count(res.value) == 1) << res.value;
+  }
+}
+
+TEST(Mvba, SilentFaultStillDecides) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto c = cfg(4, 1, 9300 + seed);
+    c.faults[2] = ByzConfig{ByzKind::kSilent};
+    Runner r(c);
+    std::vector<Fp> props{Fp(5), Fp(5), Fp(5), Fp(5)};
+    auto res = r.run_mvba(props, Fp(kDefault));
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+    EXPECT_EQ(res.value, 5u) << seed;
+  }
+}
+
+TEST(Mvba, SevenProcessesMixedProposals) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto c = cfg(7, 2, 9400 + seed);
+    c.faults[6] = ByzConfig{ByzKind::kSilent};
+    Runner r(c);
+    std::vector<Fp> props{Fp(9), Fp(9), Fp(9), Fp(9), Fp(9), Fp(2), Fp(2)};
+    auto res = r.run_mvba(props, Fp(kDefault));
+    ASSERT_TRUE(res.all_decided) << seed;
+    EXPECT_TRUE(res.agreed) << seed;
+    // 5 honest of 6 active propose 9: validity forces 9.
+    EXPECT_EQ(res.value, 9u) << seed;
+  }
+}
+
+TEST(Mvba, WorksOverSvssCoin) {
+  Runner r(cfg(4, 1, 95));
+  std::vector<Fp> props{Fp(42), Fp(42), Fp(42), Fp(42)};
+  auto res = r.run_mvba(props, Fp(kDefault), CoinMode::kSvss);
+  ASSERT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.value, 42u);
+}
+
+}  // namespace
+}  // namespace svss

@@ -1,0 +1,192 @@
+// Unit tests: Berlekamp-Welch decoding and online error correction.
+#include "common/reed_solomon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace svss {
+namespace {
+
+std::vector<std::pair<Fp, Fp>> sample(const Polynomial& p, int count) {
+  std::vector<std::pair<Fp, Fp>> pts;
+  for (int x = 1; x <= count; ++x) pts.emplace_back(Fp(x), p.eval(Fp(x)));
+  return pts;
+}
+
+TEST(ReedSolomon, ZeroErrorsMatchesInterpolation) {
+  Rng rng(1);
+  Polynomial p = Polynomial::random_with_constant(Fp(77), 3, rng);
+  auto pts = sample(p, 8);
+  auto q = rs_decode(pts, 3, 0);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(ReedSolomon, CorrectsSingleError) {
+  Rng rng(2);
+  Polynomial p = Polynomial::random_with_constant(Fp(123), 2, rng);
+  auto pts = sample(p, 5);  // m = 5 >= 3 + 2*1
+  pts[1].second += Fp(9);
+  auto q = rs_decode(pts, 2, 1);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(ReedSolomon, CorrectsMaxErrors) {
+  Rng rng(3);
+  int deg = 3;
+  int e = 3;
+  Polynomial p = Polynomial::random_with_constant(Fp(55), deg, rng);
+  auto pts = sample(p, deg + 1 + 2 * e);
+  // Corrupt e points at scattered positions.
+  pts[0].second += Fp(1);
+  pts[4].second += Fp(2);
+  pts[8].second += Fp(3);
+  auto q = rs_decode(pts, deg, e);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(ReedSolomon, TooManyErrorsRejected) {
+  Rng rng(4);
+  Polynomial p = Polynomial::random_with_constant(Fp(1), 2, rng);
+  auto pts = sample(p, 5);
+  pts[0].second += Fp(1);
+  pts[1].second += Fp(2);  // 2 errors but budget allows 1
+  EXPECT_FALSE(rs_decode(pts, 2, 1).has_value());
+}
+
+TEST(ReedSolomon, InsufficientPointsRejected) {
+  Rng rng(5);
+  Polynomial p = Polynomial::random_with_constant(Fp(1), 3, rng);
+  auto pts = sample(p, 5);  // need 4 + 2*1 = 6 for e=1
+  EXPECT_FALSE(rs_decode(pts, 3, 1).has_value());
+}
+
+TEST(ReedSolomon, ErrorValueEqualToTruthIsHarmless) {
+  // "Corrupting" a point to its true value is no error at all.
+  Rng rng(6);
+  Polynomial p = Polynomial::random_with_constant(Fp(9), 2, rng);
+  auto pts = sample(p, 5);
+  auto q = rs_decode(pts, 2, 1);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+class RsErrorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(RsErrorSweep, RandomErrorsAtRandomPositions) {
+  auto [deg, e, seed] = GetParam();
+  Rng rng(seed);
+  Polynomial p = Polynomial::random_with_constant(rng.next_field(), deg, rng);
+  int m = deg + 1 + 2 * e + 2;  // slack beyond the minimum
+  auto pts = sample(p, m);
+  // Pick e distinct positions to corrupt.
+  std::vector<int> idx(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (int k = 0; k < e; ++k) {
+    auto j = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(m - k)) + k);
+    std::swap(idx[static_cast<std::size_t>(k)], idx[j]);
+    pts[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])].second +=
+        Fp(static_cast<std::int64_t>(1 + rng.next_below(1000)));
+  }
+  auto q = rs_decode(pts, deg, e);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RsErrorSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(10u, 20u)));
+
+// --- Online error correction -------------------------------------------
+
+TEST(OnlineDecoder, DecodesOnceThresholdHonestPointsArrive) {
+  Rng rng(7);
+  int t = 2;  // n = 7, threshold 2t+1 = 5
+  Polynomial p = Polynomial::random_with_constant(Fp(31337), t, rng);
+  OnlineDecoder dec(t, 2 * t + 1);
+  // 5 honest points, no errors: decode succeeds at the 5th.
+  for (int x = 1; x <= 5; ++x) {
+    auto r = dec.add_point(Fp(x), p.eval(Fp(x)));
+    if (x < 5) {
+      EXPECT_FALSE(r.has_value()) << x;
+    } else {
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(*r, p);
+    }
+  }
+}
+
+TEST(OnlineDecoder, ToleratesEarlyLies) {
+  Rng rng(8);
+  int t = 2;
+  Polynomial p = Polynomial::random_with_constant(Fp(606), t, rng);
+  OnlineDecoder dec(t, 2 * t + 1);
+  // Two liars come first; decoding must wait for enough honest points and
+  // still produce the true polynomial.
+  EXPECT_FALSE(dec.add_point(Fp(6), p.eval(Fp(6)) + Fp(5)).has_value());
+  EXPECT_FALSE(dec.add_point(Fp(7), p.eval(Fp(7)) + Fp(5)).has_value());
+  std::optional<Polynomial> r;
+  for (int x = 1; x <= 5; ++x) r = dec.add_point(Fp(x), p.eval(Fp(x)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, p);
+}
+
+TEST(OnlineDecoder, NeverDecodesWrongPolynomial) {
+  // Adversarial prefix: t liars on a *consistent* wrong polynomial arrive
+  // first.  The decoder must not fall for it at any prefix.
+  Rng rng(9);
+  int t = 2;
+  Polynomial truth = Polynomial::random_with_constant(Fp(1), t, rng);
+  Polynomial fake = Polynomial::random_with_constant(Fp(2), t, rng);
+  OnlineDecoder dec(t, 2 * t + 1);
+  std::optional<Polynomial> r;
+  r = dec.add_point(Fp(6), fake.eval(Fp(6)));
+  EXPECT_FALSE(r.has_value());
+  r = dec.add_point(Fp(7), fake.eval(Fp(7)));
+  EXPECT_FALSE(r.has_value());
+  for (int x = 1; x <= 5; ++x) {
+    r = dec.add_point(Fp(x), truth.eval(Fp(x)));
+    if (r) EXPECT_EQ(*r, truth) << "decoded at honest point " << x;
+  }
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, truth);
+}
+
+TEST(OnlineDecoder, DuplicateShareholdersIgnored) {
+  Rng rng(10);
+  int t = 1;
+  Polynomial p = Polynomial::random_with_constant(Fp(42), t, rng);
+  OnlineDecoder dec(t, 2 * t + 1);
+  (void)dec.add_point(Fp(1), p.eval(Fp(1)));
+  (void)dec.add_point(Fp(1), p.eval(Fp(1)) + Fp(3));  // duplicate x
+  EXPECT_EQ(dec.point_count(), 1u);
+  (void)dec.add_point(Fp(2), p.eval(Fp(2)));
+  auto r = dec.add_point(Fp(3), p.eval(Fp(3)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, p);
+}
+
+TEST(OnlineDecoder, ResultIsSticky) {
+  Rng rng(11);
+  int t = 1;
+  Polynomial p = Polynomial::random_with_constant(Fp(5), t, rng);
+  OnlineDecoder dec(t, 2 * t + 1);
+  for (int x = 1; x <= 3; ++x) (void)dec.add_point(Fp(x), p.eval(Fp(x)));
+  ASSERT_TRUE(dec.result().has_value());
+  // Garbage afterwards cannot change the result.
+  auto r = dec.add_point(Fp(9), Fp(12345));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, p);
+}
+
+}  // namespace
+}  // namespace svss

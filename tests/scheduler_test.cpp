@@ -1,0 +1,65 @@
+// Unit tests: scheduler priority policies.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svss {
+namespace {
+
+PendingInfo info(std::uint64_t seq, int from = 0, int to = 1,
+                 bool is_rb = false) {
+  return PendingInfo{seq, from, to, is_rb};
+}
+
+TEST(Scheduler, FifoPreservesSendOrder) {
+  FifoScheduler s;
+  EXPECT_LT(s.priority(info(1)), s.priority(info(2)));
+  EXPECT_LT(s.priority(info(2)), s.priority(info(100)));
+}
+
+TEST(Scheduler, LifoInvertsSendOrder) {
+  LifoScheduler s;
+  EXPECT_GT(s.priority(info(1)), s.priority(info(2)));
+}
+
+TEST(Scheduler, RandomIsDeterministicPerSeed) {
+  RandomScheduler a(7);
+  RandomScheduler b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.priority(info(static_cast<std::uint64_t>(i))),
+              b.priority(info(static_cast<std::uint64_t>(i))));
+  }
+}
+
+TEST(Scheduler, TargetedDelayPenalizesMatches) {
+  auto slow = [](const PendingInfo& p) { return p.to == 3; };
+  TargetedDelayScheduler s(1, slow, 1 << 20);
+  std::uint64_t fast = s.priority(info(10, 0, 1));
+  std::uint64_t delayed = s.priority(info(10, 0, 3));
+  EXPECT_GT(delayed, fast + (1 << 19));
+}
+
+TEST(Scheduler, FactoryBuildsEveryKind) {
+  for (auto kind : {SchedulerKind::kFifo, SchedulerKind::kRandom,
+                    SchedulerKind::kLifo, SchedulerKind::kDelayLastHonest}) {
+    auto s = make_scheduler(kind, 42, 7, 2);
+    ASSERT_NE(s, nullptr);
+    (void)s->priority(info(1));
+  }
+}
+
+TEST(Scheduler, DelayLastHonestTargetsTailProcesses) {
+  auto s = make_scheduler(SchedulerKind::kDelayLastHonest, 42, 7, 2);
+  // Traffic among the first n-t processes is fast; traffic touching the
+  // tail is penalized.  Compare averages over jitter.
+  std::uint64_t fast_total = 0;
+  std::uint64_t slow_total = 0;
+  for (int i = 0; i < 32; ++i) {
+    fast_total += s->priority(info(100, 0, 1));
+    slow_total += s->priority(info(100, 0, 6));
+  }
+  EXPECT_GT(slow_total, fast_total + 32ull * (1 << 17));
+}
+
+}  // namespace
+}  // namespace svss

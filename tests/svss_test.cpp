@@ -1,0 +1,215 @@
+// Protocol tests: SVSS properties (Section 2.1 / Lemma 3).
+//
+// SVSS strengthens MW-SVSS: full binding (a single value r, no per-process
+// bottom escape) and full validity — each with the shunning escape clause.
+// These tests drive one SVSS session per run under fault/schedule mixes
+// and assert the properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runner.hpp"
+#include "svss/svss.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed,
+                 SchedulerKind sched = SchedulerKind::kRandom) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  c.scheduler = sched;
+  return c;
+}
+
+std::set<int> faulty_set(const RunnerConfig& c) {
+  std::set<int> out;
+  for (const auto& [id, b] : c.faults) {
+    if (b.kind != ByzKind::kHonest) out.insert(id);
+  }
+  return out;
+}
+
+void assert_shuns_are_sound(const std::vector<std::pair<int, int>>& pairs,
+                            const std::set<int>& faulty) {
+  for (const auto& [i, j] : pairs) {
+    EXPECT_EQ(faulty.count(i), 0u) << "faulty observer " << i;
+    EXPECT_EQ(faulty.count(j), 1u) << "honest process shunned: " << j;
+  }
+}
+
+// Binding: all honest outputs identical (including bottom) — or shunning.
+void assert_binding_or_shun(const std::map<int, std::optional<Fp>>& outputs,
+                            const std::vector<std::pair<int, int>>& shuns) {
+  std::set<std::optional<std::uint64_t>> distinct;
+  for (const auto& [i, out] : outputs) {
+    distinct.insert(out ? std::optional<std::uint64_t>(out->value())
+                        : std::nullopt);
+  }
+  if (distinct.size() > 1) {
+    EXPECT_FALSE(shuns.empty()) << "outputs split without shunning";
+  }
+}
+
+// --- Validity of termination + validity, all honest -------------------
+TEST(Svss, AllHonestEveryScheduler) {
+  for (auto sched : {SchedulerKind::kFifo, SchedulerKind::kRandom,
+                     SchedulerKind::kLifo, SchedulerKind::kDelayLastHonest}) {
+    Runner r(cfg(4, 1, 21, sched));
+    auto res = r.run_svss(Fp(123123));
+    EXPECT_TRUE(res.all_honest_shared);
+    EXPECT_TRUE(res.all_honest_output);
+    for (const auto& [i, out] : res.outputs) {
+      ASSERT_TRUE(out.has_value());
+      EXPECT_EQ(*out, Fp(123123));
+    }
+    EXPECT_TRUE(res.shun_pairs.empty());
+  }
+}
+
+TEST(Svss, AllHonestLargerSystem) {
+  Runner r(cfg(7, 2, 22));
+  auto res = r.run_svss(Fp(271828));
+  EXPECT_TRUE(res.all_honest_output);
+  for (const auto& [i, out] : res.outputs) {
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, Fp(271828));
+  }
+}
+
+// Validity with t silent processes: still terminates with the secret.
+TEST(Svss, MaxSilentFaultsStillValid) {
+  auto c = cfg(7, 2, 23);
+  c.faults[5] = ByzConfig{ByzKind::kSilent};
+  c.faults[6] = ByzConfig{ByzKind::kSilent};
+  Runner r(c);
+  auto res = r.run_svss(Fp(999));
+  EXPECT_TRUE(res.all_honest_output);
+  for (const auto& [i, out] : res.outputs) {
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, Fp(999));
+  }
+}
+
+// Validity-or-shun with a reconstruct-corrupting participant.
+TEST(Svss, WrongReconParticipantValidityOrShun) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto c = cfg(4, 1, seed);
+    c.faults[2] = ByzConfig{ByzKind::kWrongRecon};
+    Runner r(c);
+    auto res = r.run_svss(Fp(1717));
+    ASSERT_TRUE(res.all_honest_shared) << seed;
+    ASSERT_TRUE(res.all_honest_output) << seed;
+    bool all_correct = true;
+    for (const auto& [i, out] : res.outputs) {
+      if (!out || *out != Fp(1717)) all_correct = false;
+    }
+    EXPECT_TRUE(all_correct || !res.shun_pairs.empty()) << seed;
+    assert_shuns_are_sound(res.shun_pairs, faulty_set(c));
+  }
+}
+
+// Binding-or-shun with a Byzantine dealer.
+TEST(Svss, EquivocatingDealerBindingOrShun) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto c = cfg(4, 1, seed);
+    c.faults[0] = ByzConfig{ByzKind::kEquivocate};
+    Runner r(c);
+    auto res = r.run_svss(Fp(31337), /*dealer=*/0);
+    assert_binding_or_shun(res.outputs, res.shun_pairs);
+    assert_shuns_are_sound(res.shun_pairs, faulty_set(c));
+  }
+}
+
+TEST(Svss, BitFlippingDealerBindingOrShun) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto c = cfg(4, 1, seed);
+    c.faults[0] = ByzConfig{ByzKind::kBitFlip, 0, 0.2};
+    Runner r(c);
+    auto res = r.run_svss(Fp(5555), /*dealer=*/0);
+    assert_binding_or_shun(res.outputs, res.shun_pairs);
+    assert_shuns_are_sound(res.shun_pairs, faulty_set(c));
+  }
+}
+
+// Silent dealer: no honest process completes S; clean stall.
+TEST(Svss, SilentDealerStallsCleanly) {
+  auto c = cfg(4, 1, 24);
+  c.faults[0] = ByzConfig{ByzKind::kSilent};
+  Runner r(c);
+  auto res = r.run_svss(Fp(1), /*dealer=*/0);
+  EXPECT_FALSE(res.all_honest_shared);
+  EXPECT_EQ(res.status, RunStatus::kQuiescent);
+  EXPECT_TRUE(res.shun_pairs.empty());
+}
+
+// Termination: share completion is all-or-none across honest processes.
+class SvssTerminationSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SvssTerminationSweep, ShareCompletionAllOrNone) {
+  auto [fault_kind, seed] = GetParam();
+  auto c = cfg(4, 1, seed);
+  c.faults[1] = ByzConfig{static_cast<ByzKind>(fault_kind)};
+  Runner r(c);
+  SessionId sid = svss_top_id(1, 0);
+  (void)r.run_svss(Fp(11), /*dealer=*/0);
+  int completed = 0;
+  int honest = 0;
+  for (int i : r.honest_ids()) {
+    ++honest;
+    const SvssSession* s = r.node(i).find_svss(sid);
+    if (s != nullptr && s->share_complete()) ++completed;
+  }
+  EXPECT_TRUE(completed == 0 || completed == honest)
+      << completed << "/" << honest;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultsAndSeeds, SvssTerminationSweep,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(ByzKind::kSilent),
+                          static_cast<int>(ByzKind::kEquivocate),
+                          static_cast<int>(ByzKind::kWrongRecon),
+                          static_cast<int>(ByzKind::kCrashMidway)),
+        ::testing::Values(1u, 2u, 3u)));
+
+// Once an honest process detects j, its DMM discards j everywhere —
+// shunning is permanent (Definition 1's "from this point onwards").
+TEST(Svss, ShunningPersistsAcrossSessions) {
+  bool checked = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !checked; ++seed) {
+    auto c = cfg(4, 1, seed);
+    c.faults[2] = ByzConfig{ByzKind::kWrongRecon};
+    Runner r(c);
+    auto res = r.run_svss(Fp(1717));
+    for (const auto& [i, j] : res.shun_pairs) {
+      EXPECT_TRUE(r.node(i).dmm().discards(j));
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked) << "no seed triggered a detection";
+}
+
+// Message complexity across n (coarse polynomial guard): one SVSS session
+// is O(n^2) MW-SVSS invocations of O(n^3) packets => O(n^5); assert under
+// a slack multiple of n^5, and that cost grows with n.
+TEST(Svss, MessageComplexityPolynomial) {
+  std::uint64_t last = 0;
+  for (int n : {4, 7}) {
+    int t = (n - 1) / 3;
+    Runner r(cfg(n, t, 600 + static_cast<std::uint64_t>(n)));
+    auto res = r.run_svss(Fp(1));
+    ASSERT_TRUE(res.all_honest_output) << n;
+    EXPECT_GT(res.metrics.packets_sent, last);
+    last = res.metrics.packets_sent;
+    std::uint64_t n5 = 1;
+    for (int k = 0; k < 5; ++k) n5 *= static_cast<std::uint64_t>(n);
+    EXPECT_LT(res.metrics.packets_sent, 40 * n5) << n;
+  }
+}
+
+}  // namespace
+}  // namespace svss
