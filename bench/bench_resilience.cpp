@@ -52,6 +52,7 @@ void BM_BeyondResilienceBound(benchmark::State& state) {
   for (auto _ : state) {
     auto cfg = config(n, 8100 + runs * 7);
     cfg.t = t;
+    cfg.allow_sub_resilience = true;  // n = 3t is the point of this bench
     cfg.max_deliveries = 2'000'000;
     for (int i = n - t; i < n; ++i) cfg.faults[i] = ByzConfig{ByzKind::kSilent};
     Runner r(cfg);

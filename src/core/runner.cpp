@@ -22,11 +22,26 @@ SessionId svss_top_id(std::uint32_t c, int dealer) {
   return sid;
 }
 
+namespace {
+
+RunnerConfig validate(RunnerConfig cfg) {
+  if (cfg.n <= 0) throw std::invalid_argument("Runner: n must be positive");
+  if (cfg.t < 0) throw std::invalid_argument("Runner: t must be >= 0");
+  if (!cfg.allow_sub_resilience && cfg.n < 3 * cfg.t + 1) {
+    throw std::invalid_argument(
+        "Runner: n < 3t+1 breaks the paper's resilience bound; set "
+        "allow_sub_resilience to experiment beyond it");
+  }
+  return cfg;
+}
+
+}  // namespace
+
 Runner::Runner(RunnerConfig cfg)
-    : cfg_(cfg),
-      engine_(cfg.n, cfg.t, cfg.seed,
-              make_scheduler(cfg.scheduler, cfg.seed ^ 0x5C4EDULL, cfg.n,
-                             cfg.t)) {
+    : cfg_(validate(std::move(cfg))),
+      engine_(cfg_.n, cfg_.t, cfg_.seed,
+              make_scheduler(cfg_.scheduler, cfg_.seed ^ 0x5C4EDULL, cfg_.n,
+                             cfg_.t)) {
   nodes_.resize(static_cast<std::size_t>(cfg_.n));
   for (int i = 0; i < cfg_.n; ++i) {
     auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t);

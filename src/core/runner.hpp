@@ -29,6 +29,11 @@ struct RunnerConfig {
   SchedulerKind scheduler = SchedulerKind::kRandom;
   std::map<int, ByzConfig> faults;  // id -> behaviour (absent == honest)
   std::uint64_t max_deliveries = 50'000'000;
+  // The paper's protocols are only safe at optimal resilience n >= 3t+1;
+  // the Runner rejects weaker configs unless this is set.  Experiments
+  // that deliberately cross the bound (e.g. bench_resilience's n = 3t
+  // stall demonstration) opt in explicitly.
+  bool allow_sub_resilience = false;
 };
 
 // Canonical session ids for top-level invocations.

@@ -202,7 +202,9 @@ TEST(MwSvss, ModeratedBindingPinsValueToModeratorInput) {
                             /*moderator=*/1);
     if (!res.all_honest_shared || !res.shun_pairs.empty()) continue;
     for (const auto& [i, out] : res.outputs) {
-      if (out) EXPECT_EQ(*out, Fp(4242)) << "seed " << seed;
+      if (out) {
+        EXPECT_EQ(*out, Fp(4242)) << "seed " << seed;
+      }
     }
   }
 }

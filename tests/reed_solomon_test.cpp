@@ -155,7 +155,9 @@ TEST(OnlineDecoder, NeverDecodesWrongPolynomial) {
   EXPECT_FALSE(r.has_value());
   for (int x = 1; x <= 5; ++x) {
     r = dec.add_point(Fp(x), truth.eval(Fp(x)));
-    if (r) EXPECT_EQ(*r, truth) << "decoded at honest point " << x;
+    if (r) {
+      EXPECT_EQ(*r, truth) << "decoded at honest point " << x;
+    }
   }
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(*r, truth);

@@ -1,0 +1,106 @@
+// Resilience boundary: the paper's protocols assume optimal resilience
+// n >= 3t+1 (Theorem 1 — t < n/3 is necessary for asynchronous BA).  The
+// Runner accepts exactly the safe configs and rejects n = 3t unless the
+// caller explicitly opts into sub-resilience experiments.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/runner.hpp"
+
+namespace svss {
+namespace {
+
+RunnerConfig cfg(int n, int t, std::uint64_t seed = 9) {
+  RunnerConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  return c;
+}
+
+// --- n = 3t+1 accepted: every driver works at the boundary ---------------
+
+TEST(Resilience, OptimalSvssRuns) {
+  Runner r(cfg(4, 1));
+  auto res = r.run_svss(Fp(77));
+  EXPECT_TRUE(res.all_honest_shared);
+  EXPECT_TRUE(res.all_honest_output);
+}
+
+TEST(Resilience, OptimalCoinRuns) {
+  Runner r(cfg(4, 1));
+  auto res = r.run_coin();
+  EXPECT_TRUE(res.all_output);
+}
+
+TEST(Resilience, OptimalAbaRuns) {
+  Runner r(cfg(4, 1));
+  auto res = r.run_aba({1, 1, 1, 1}, CoinMode::kSvss);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_EQ(res.value, 1);
+}
+
+TEST(Resilience, LargerOptimalConfigsConstruct) {
+  for (int t : {2, 3, 4}) {
+    EXPECT_NO_THROW(Runner r(cfg(3 * t + 1, t)));
+  }
+}
+
+// --- n = 3t rejected for SVSS, coin, and ABA drivers ---------------------
+
+TEST(Resilience, SubResilienceSvssRejected) {
+  EXPECT_THROW(
+      {
+        Runner r(cfg(3, 1));
+        (void)r.run_svss(Fp(1));
+      },
+      std::invalid_argument);
+}
+
+TEST(Resilience, SubResilienceCoinRejected) {
+  EXPECT_THROW(
+      {
+        Runner r(cfg(6, 2));
+        (void)r.run_coin();
+      },
+      std::invalid_argument);
+}
+
+TEST(Resilience, SubResilienceAbaRejected) {
+  EXPECT_THROW(
+      {
+        Runner r(cfg(9, 3));
+        (void)r.run_aba({0, 1, 0, 1, 0, 1, 0, 1, 0});
+      },
+      std::invalid_argument);
+}
+
+TEST(Resilience, DegenerateConfigsRejected) {
+  EXPECT_THROW(Runner r(cfg(0, 0)), std::invalid_argument);
+  EXPECT_THROW(Runner r(cfg(-4, 1)), std::invalid_argument);
+  EXPECT_THROW(Runner r(cfg(4, -1)), std::invalid_argument);
+}
+
+// --- explicit opt-in: sub-resilience is available for experiments --------
+
+TEST(Resilience, OptInAllowsSubResilienceButStaysSafe) {
+  auto c = cfg(6, 2);
+  c.allow_sub_resilience = true;
+  // t silent processes at n = 3t: honest quorums of size n-t need every
+  // honest message, so runs typically stall (bench_resilience measures
+  // p_terminated ~ 0).  Either way, silence alone must never produce
+  // disagreement among honest deciders.
+  c.faults[4] = ByzConfig{ByzKind::kSilent};
+  c.faults[5] = ByzConfig{ByzKind::kSilent};
+  c.max_deliveries = 500'000;
+  Runner r(c);
+  auto res = r.run_aba({0, 1, 0, 1, 0, 1}, CoinMode::kIdealCommon);
+  if (res.all_decided) {
+    EXPECT_TRUE(res.agreed);
+  }
+}
+
+}  // namespace
+}  // namespace svss

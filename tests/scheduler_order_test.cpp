@@ -1,0 +1,151 @@
+// Engine-level ordering guarantees for the FIFO and LIFO schedulers, and
+// the age-cap (max_lag) eventual-delivery invariant that makes every
+// scheduler a valid asynchronous adversary.  scheduler_test.cpp checks the
+// priority functions in isolation; these tests check what the engine
+// actually delivers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace svss {
+namespace {
+
+// Appends every payload it receives to a shared delivery record.
+class Recorder : public IProcess {
+ public:
+  explicit Recorder(std::vector<int>* sink) : sink_(sink) {}
+  void start(Context&) override {}
+  void on_packet(Context&, int, const Packet& p) override {
+    sink_->push_back(p.app.a);
+  }
+
+ private:
+  std::vector<int>* sink_;
+};
+
+// Sends `count` numbered packets to process `to` at start.
+class Burst : public IProcess {
+ public:
+  Burst(int to, int count, int base = 0)
+      : to_(to), count_(count), base_(base) {}
+  void start(Context& ctx) override {
+    for (int k = 0; k < count_; ++k) {
+      Message m;
+      m.a = static_cast<std::int16_t>(base_ + k);
+      ctx.send(to_, make_direct(m));
+    }
+  }
+  void on_packet(Context&, int, const Packet&) override {}
+
+ private:
+  int to_;
+  int count_;
+  int base_;
+};
+
+// Replies to every packet forever: an endless source of fresh traffic.
+class Chatter : public IProcess {
+ public:
+  void start(Context&) override {}
+  void on_packet(Context& ctx, int from, const Packet& p) override {
+    ctx.send(from, p);
+  }
+};
+
+TEST(SchedulerOrder, FifoDeliversInExactSendOrder) {
+  std::vector<int> got;
+  Engine e(2, 0, 1, std::make_unique<FifoScheduler>());
+  e.set_process(0, std::make_unique<Burst>(1, 64));
+  e.set_process(1, std::make_unique<Recorder>(&got));
+  EXPECT_EQ(e.run(), RunStatus::kQuiescent);
+  std::vector<int> want(64);
+  for (int k = 0; k < 64; ++k) want[static_cast<std::size_t>(k)] = k;
+  EXPECT_EQ(got, want);
+}
+
+TEST(SchedulerOrder, FifoInterleavesSendersBySendSequence) {
+  // Two senders burst in start(); start() runs in id order, so the global
+  // send sequence is all of sender 0's packets, then all of sender 1's.
+  std::vector<int> got;
+  Engine e(3, 0, 1, std::make_unique<FifoScheduler>());
+  e.set_process(0, std::make_unique<Burst>(2, 8, 0));
+  e.set_process(1, std::make_unique<Burst>(2, 8, 100));
+  e.set_process(2, std::make_unique<Recorder>(&got));
+  EXPECT_EQ(e.run(), RunStatus::kQuiescent);
+  std::vector<int> want;
+  for (int k = 0; k < 8; ++k) want.push_back(k);
+  for (int k = 0; k < 8; ++k) want.push_back(100 + k);
+  EXPECT_EQ(got, want);
+}
+
+TEST(SchedulerOrder, LifoDeliversNewestFirst) {
+  // All packets are in flight before the first delivery; with no new sends
+  // afterwards and the default (huge) age cap, LIFO is exact reverse order.
+  std::vector<int> got;
+  Engine e(2, 0, 1, std::make_unique<LifoScheduler>());
+  e.set_process(0, std::make_unique<Burst>(1, 64));
+  e.set_process(1, std::make_unique<Recorder>(&got));
+  EXPECT_EQ(e.run(), RunStatus::kQuiescent);
+  std::vector<int> want(64);
+  for (int k = 0; k < 64; ++k) want[static_cast<std::size_t>(k)] = 63 - k;
+  EXPECT_EQ(got, want);
+}
+
+// The eventual-delivery invariant: no packet waits more than max_lag
+// deliveries, whatever the scheduler wants.  A marker packet competes with
+// an endless stream of fresh chatter; for every scheduler kind it must
+// arrive within the age cap (plus the marker itself).
+TEST(SchedulerOrder, MaxLagBoundsStarvationForEveryKind) {
+  constexpr std::uint64_t kLag = 50;
+  for (auto kind : {SchedulerKind::kFifo, SchedulerKind::kRandom,
+                    SchedulerKind::kLifo, SchedulerKind::kDelayLastHonest}) {
+    std::vector<int> got;
+    Engine e(4, 1, 7, make_scheduler(kind, 7, 4, 1));
+    e.set_max_lag(kLag);
+    e.set_process(0, std::make_unique<Chatter>());
+    e.set_process(1, std::make_unique<Chatter>());
+    e.set_process(2, std::make_unique<Chatter>());
+    e.set_process(3, std::make_unique<Recorder>(&got));
+    // The marker is the globally oldest packet; afterwards 1 <-> 2 bounce
+    // a packet forever, so the run never quiesces on its own and every
+    // chatter reply is newer than the marker — LIFO and targeted-delay
+    // schedulers would starve it forever without the age cap.
+    Message marker;
+    marker.a = 42;
+    Context ctx0(e, 0);
+    ctx0.send(3, make_direct(marker));
+    Context ctx1(e, 1);
+    Message m;
+    ctx1.send(2, make_direct(m));
+    auto status = e.run_until([&] { return !got.empty(); }, 10'000);
+    EXPECT_EQ(status, RunStatus::kQuiescent)
+        << "marker starved under kind " << static_cast<int>(kind);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 42);
+    // The marker was in flight from delivery 0, so the age cap bounds its
+    // wait: forced through once skipped for more than kLag deliveries.
+    EXPECT_LE(e.metrics().packets_delivered, kLag + 2)
+        << "age cap failed to bound waiting under kind "
+        << static_cast<int>(kind);
+  }
+}
+
+// LIFO with the age cap still delivers *everything* (no packet is lost to
+// lazy heap/fifo bookkeeping) even when chatter keeps arriving.
+TEST(SchedulerOrder, LifoWithAgeCapLosesNothing) {
+  std::vector<int> got;
+  Engine e(2, 0, 3, std::make_unique<LifoScheduler>());
+  e.set_max_lag(8);
+  e.set_process(0, std::make_unique<Burst>(1, 100));
+  e.set_process(1, std::make_unique<Recorder>(&got));
+  EXPECT_EQ(e.run(), RunStatus::kQuiescent);
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_EQ(e.metrics().packets_delivered, e.metrics().packets_sent);
+}
+
+}  // namespace
+}  // namespace svss
