@@ -54,6 +54,7 @@ void BM_BeyondResilienceBound(benchmark::State& state) {
     cfg.t = t;
     cfg.allow_sub_resilience = true;  // n = 3t is the point of this bench
     cfg.max_deliveries = 2'000'000;
+    cfg.warn_on_cap = false;  // stalling is the expected outcome here
     for (int i = n - t; i < n; ++i) cfg.faults[i] = ByzConfig{ByzKind::kSilent};
     Runner r(cfg);
     auto res = r.run_aba(alternating_inputs(n), CoinMode::kIdealCommon);

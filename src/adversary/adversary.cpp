@@ -1,0 +1,45 @@
+#include "adversary/adversary.hpp"
+
+#include <stdexcept>
+
+namespace svss::adversary {
+
+void install_adversary(RunnerConfig& cfg, int slot,
+                       const AdversaryConfig& acfg) {
+  if (slot < 0 || slot >= cfg.n) {
+    throw std::invalid_argument("install_adversary: slot out of range");
+  }
+  cfg.adversaries[slot] = make_strategy(acfg);
+}
+
+void install_cabal(RunnerConfig& cfg, const std::vector<int>& members,
+                   const AdversaryConfig& acfg) {
+  auto factories = make_cabal(members, acfg);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    int slot = members[i];
+    if (slot < 0 || slot >= cfg.n) {
+      throw std::invalid_argument("install_cabal: slot out of range");
+    }
+    cfg.adversaries[slot] = std::move(factories[i]);
+  }
+}
+
+void install_adversaries(RunnerConfig& cfg, StrategyKind kind, int count,
+                         AdversaryConfig base) {
+  if (count <= 0) return;
+  if (count > cfg.n) {
+    throw std::invalid_argument("install_adversaries: count > n");
+  }
+  base.kind = kind;
+  std::vector<int> slots;
+  for (int i = cfg.n - count; i < cfg.n; ++i) slots.push_back(i);
+  if (kind == StrategyKind::kColludingCabal) {
+    install_cabal(cfg, slots, base);
+    return;
+  }
+  for (int slot : slots) {
+    install_adversary(cfg, slot, base);
+  }
+}
+
+}  // namespace svss::adversary

@@ -1,0 +1,41 @@
+// RunnerConfig wiring for adversary strategies.
+//
+// Usage (see tests/adversary_test.cpp and tests/sweep_common.hpp):
+//
+//   RunnerConfig cfg;                      // n = 4, t = 1
+//   adversary::install_adversaries(cfg, StrategyKind::kColludingCabal, 1);
+//   Runner r(cfg);
+//   auto res = r.run_aba({0, 1, 0, 1});
+//   r.adversary(3)->stats();               // non-vacuity checks
+//
+// Adding a new strategy: add the enum value + name in strategy.hpp, derive
+// from IStrategy in strategies.cpp (host inner Nodes for honest-code
+// plumbing, override on_packet/on_outbound for the deviation, and count
+// every deviation in StrategyStats so tests can assert it actually fired),
+// extend make_strategy, then add the kind to kAllStrategies so the
+// termination sweep picks it up automatically.
+#pragma once
+
+#include <vector>
+
+#include "adversary/strategy.hpp"
+#include "core/runner.hpp"
+
+namespace svss::adversary {
+
+// Occupies `slot` with a standalone strategy.
+void install_adversary(RunnerConfig& cfg, int slot,
+                       const AdversaryConfig& acfg);
+
+// Occupies every listed slot with one cabal sharing a single view.
+void install_cabal(RunnerConfig& cfg, const std::vector<int>& members,
+                   const AdversaryConfig& acfg = {
+                       StrategyKind::kColludingCabal, 0});
+
+// Occupies the top `count` slots (n-count .. n-1) with `kind`; colluding
+// cabals share one view, other kinds get independent instances.  `base`
+// supplies strategy parameters (its kind field is overridden).
+void install_adversaries(RunnerConfig& cfg, StrategyKind kind, int count,
+                         AdversaryConfig base = {});
+
+}  // namespace svss::adversary

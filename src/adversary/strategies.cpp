@@ -1,0 +1,337 @@
+#include "adversary/strategy.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/byzantine.hpp"
+#include "core/node.hpp"
+
+namespace svss::adversary {
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kEquivocatingDealer: return "equivocating-dealer";
+    case StrategyKind::kAdaptiveShunAware: return "adaptive-shun-aware";
+    case StrategyKind::kWithholdingModerator: return "withholding-moderator";
+    case StrategyKind::kColludingCabal: return "colluding-cabal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// --------------------------------------------------------------------
+// EquivocatingDealer — a split-brain process.
+//
+// Two complete honest Nodes run side by side in one slot.  Every inbound
+// packet is fed to both; each fork's own traffic (direct messages and RB
+// steps of broadcasts it originates) reaches only its half of the process
+// ids, and fork 0 alone relays other processes' broadcasts so relay duty
+// is not duplicated.  When the slot is asked to deal, both forks execute
+// the full dealer state machine — drawing *distinct* bivariate polynomials
+// from the slot's RNG stream — so the two halves of the system are courted
+// with genuinely different dealings, not just perturbed values.  (Bracha
+// RB provably survives this at n >= 3t+1: the equivocated broadcasts
+// deliver one value or none, never two — which is exactly the liveness
+// pressure the shunning machinery must absorb.)
+// --------------------------------------------------------------------
+class EquivocatingDealer final : public IStrategy {
+ public:
+  explicit EquivocatingDealer(const AdversaryEnv& env) : IStrategy(env) {
+    for (auto& b : branch_) {
+      b = std::make_unique<Node>(env.self, env.n, env.t);
+    }
+  }
+
+  [[nodiscard]] const char* strategy_name() const override {
+    return adversary::strategy_name(StrategyKind::kEquivocatingDealer);
+  }
+
+  void start(Context& ctx) override {
+    for (int b = 0; b < 2; ++b) {
+      active_ = b;
+      if (start_action_) branch_[b]->set_start_action(start_action_);
+      branch_[b]->start(ctx);
+    }
+    active_ = 0;
+  }
+
+  void on_packet(Context& ctx, int from, const Packet& p) override {
+    ++stats_.inbound;
+    for (int b = 0; b < 2; ++b) {
+      active_ = b;
+      branch_[b]->on_packet(ctx, from, p);
+    }
+    active_ = 0;
+  }
+
+  bool on_outbound(int to, Packet& p) override {
+    // Own traffic is partitioned by fork; relay duty for other origins is
+    // fork 0's alone (the forks would otherwise double every echo/ready).
+    bool own = !p.is_rb || p.bid.origin == env_.self;
+    bool allow = own ? partition(to) == active_ : active_ == 0;
+    if (!allow) {
+      ++stats_.withheld;
+    } else {
+      ++stats_.emitted;
+      if (active_ == 1) ++stats_.forked;
+    }
+    return allow;
+  }
+
+ private:
+  [[nodiscard]] int partition(int to) const {
+    return to < env_.n / 2 ? 0 : 1;
+  }
+
+  std::unique_ptr<Node> branch_[2];
+  int active_ = 0;  // fork currently executing (single-threaded engine)
+};
+
+// --------------------------------------------------------------------
+// AdaptiveShunAware — deviates until accused, then hides.
+//
+// Runs one honest Node but corrupts its MW-SVSS reconstruct broadcasts
+// (the deviation DMM rules 2-3 detect) for as long as no honest process
+// has accused it.  The paper's adversary is full-information, so watching
+// the global event log for kShun events naming this slot is the simulator
+// stand-in for inferring accusations from delivered traffic (L/M-set
+// membership, forever-delayed channels).  Once accused it turns honest,
+// probing whether shunning is sticky: DMM must keep the detection anchored
+// even though the process never misbehaves again.
+// --------------------------------------------------------------------
+class AdaptiveShunAware final : public IStrategy {
+ public:
+  explicit AdaptiveShunAware(const AdversaryEnv& env)
+      : IStrategy(env),
+        node_(std::make_unique<Node>(env.self, env.n, env.t)) {}
+
+  [[nodiscard]] const char* strategy_name() const override {
+    return adversary::strategy_name(StrategyKind::kAdaptiveShunAware);
+  }
+
+  void start(Context& ctx) override {
+    if (start_action_) node_->set_start_action(start_action_);
+    node_->start(ctx);
+  }
+
+  void on_packet(Context& ctx, int from, const Packet& p) override {
+    ++stats_.inbound;
+    observe_accusations(ctx);
+    node_->on_packet(ctx, from, p);
+  }
+
+  bool on_outbound(int /*to*/, Packet& p) override {
+    if (!stats_.adapted) {
+      bool touched = false;
+      mutate_outbound_message(
+          p, env_.self,
+          [&](Message& m) {
+            if (m.type == MsgType::kMwReconVal && !m.vals.empty()) {
+              m.vals[0] += Fp(1);
+              touched = true;
+            }
+          },
+          /*mutate_relays=*/false);
+      if (touched) ++stats_.mutated;
+    }
+    ++stats_.emitted;
+    return true;
+  }
+
+ private:
+  void observe_accusations(Context& ctx) {
+    const auto& events = ctx.log().events();
+    for (; cursor_ < events.size(); ++cursor_) {
+      const Event& e = events[cursor_];
+      if (e.kind == EventKind::kShun && e.other == env_.self &&
+          e.who != env_.self) {
+        stats_.adapted = true;
+      }
+    }
+  }
+
+  std::unique_ptr<Node> node_;
+  std::size_t cursor_ = 0;  // event-log watermark (scan each event once)
+};
+
+// --------------------------------------------------------------------
+// WithholdingModerator — honest except that its moderator M-set broadcasts
+// never leave the process.  Every MW-SVSS session this slot moderates
+// stalls in S' step 6 forever; dealers and the coin must route around the
+// missing pairs (G-set / support-set selection) for termination to hold.
+// --------------------------------------------------------------------
+class WithholdingModerator final : public IStrategy {
+ public:
+  explicit WithholdingModerator(const AdversaryEnv& env)
+      : IStrategy(env),
+        node_(std::make_unique<Node>(env.self, env.n, env.t)) {}
+
+  [[nodiscard]] const char* strategy_name() const override {
+    return adversary::strategy_name(StrategyKind::kWithholdingModerator);
+  }
+
+  void start(Context& ctx) override {
+    if (start_action_) node_->set_start_action(start_action_);
+    node_->start(ctx);
+  }
+
+  void on_packet(Context& ctx, int from, const Packet& p) override {
+    ++stats_.inbound;
+    node_->on_packet(ctx, from, p);
+  }
+
+  bool on_outbound(int /*to*/, Packet& p) override {
+    bool withhold =
+        p.is_rb ? p.bid.origin == env_.self && p.bid.slot == MsgType::kMwMset
+                : p.app.type == MsgType::kMwMset;
+    if (withhold) {
+      ++stats_.withheld;
+      return false;
+    }
+    ++stats_.emitted;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Node> node_;
+};
+
+// --------------------------------------------------------------------
+// ColludingCabal — t coordinated faults sharing a view.
+//
+// All members consult one CabalView: a common false-value delta presented
+// to the lower half of the system (members show each other true values, so
+// the lie is mutually consistent and survives cross-checks between
+// colluders), a shared accusation watch (the first shun accusation against
+// *any* member flips the whole cabal to honest behaviour at once), and an
+// optional shared delivery clock for a coordinated simultaneous crash.
+// --------------------------------------------------------------------
+struct CabalView {
+  std::vector<int> members;
+  Fp delta{1};
+  std::uint64_t observed = 0;      // deliveries witnessed by any member
+  std::uint64_t silence_after = 0; // 0 = never crash
+  bool silenced = false;
+  bool evading = false;            // some member was accused
+  std::size_t log_cursor = 0;      // shared event-log watermark
+};
+
+class ColludingCabal final : public IStrategy {
+ public:
+  ColludingCabal(const AdversaryEnv& env, std::shared_ptr<CabalView> view)
+      : IStrategy(env),
+        view_(std::move(view)),
+        node_(std::make_unique<Node>(env.self, env.n, env.t)) {}
+
+  [[nodiscard]] const char* strategy_name() const override {
+    return adversary::strategy_name(StrategyKind::kColludingCabal);
+  }
+
+  void start(Context& ctx) override {
+    if (start_action_) node_->set_start_action(start_action_);
+    node_->start(ctx);
+  }
+
+  void on_packet(Context& ctx, int from, const Packet& p) override {
+    ++stats_.inbound;
+    ++view_->observed;
+    if (view_->silence_after != 0 &&
+        view_->observed >= view_->silence_after) {
+      view_->silenced = true;  // every member falls silent this instant
+    }
+    observe_accusations(ctx);
+    node_->on_packet(ctx, from, p);
+  }
+
+  bool on_outbound(int to, Packet& p) override {
+    if (view_->silenced) {
+      ++stats_.withheld;
+      return false;
+    }
+    stats_.adapted = view_->evading;
+    if (!view_->evading && !is_member(to) && to < env_.n / 2) {
+      bool touched = false;
+      Fp delta = view_->delta;
+      mutate_outbound_message(
+          p, env_.self,
+          [&](Message& m) {
+            for (Fp& v : m.vals) v += delta;
+            touched = !m.vals.empty();
+          },
+          /*mutate_relays=*/false);
+      if (touched) ++stats_.mutated;
+    }
+    ++stats_.emitted;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] bool is_member(int id) const {
+    for (int m : view_->members) {
+      if (m == id) return true;
+    }
+    return false;
+  }
+
+  void observe_accusations(Context& ctx) {
+    const auto& events = ctx.log().events();
+    for (; view_->log_cursor < events.size(); ++view_->log_cursor) {
+      const Event& e = events[view_->log_cursor];
+      if (e.kind != EventKind::kShun || is_member(e.who)) continue;
+      if (is_member(e.other)) view_->evading = true;
+    }
+  }
+
+  std::shared_ptr<CabalView> view_;
+  std::unique_ptr<Node> node_;
+};
+
+}  // namespace
+
+AdversarySlotFactory make_strategy(const AdversaryConfig& cfg) {
+  switch (cfg.kind) {
+    case StrategyKind::kEquivocatingDealer:
+      return [](const AdversaryEnv& env) {
+        return std::make_unique<EquivocatingDealer>(env);
+      };
+    case StrategyKind::kAdaptiveShunAware:
+      return [](const AdversaryEnv& env) {
+        return std::make_unique<AdaptiveShunAware>(env);
+      };
+    case StrategyKind::kWithholdingModerator:
+      return [](const AdversaryEnv& env) {
+        return std::make_unique<WithholdingModerator>(env);
+      };
+    case StrategyKind::kColludingCabal: {
+      // A standalone colluding slot is a cabal of one; the view is created
+      // lazily so the factory can be copied into several configs safely.
+      std::uint64_t silence = cfg.silence_after;
+      return [silence](const AdversaryEnv& env) {
+        auto view = std::make_shared<CabalView>();
+        view->members = {env.self};
+        view->silence_after = silence;
+        return std::make_unique<ColludingCabal>(env, std::move(view));
+      };
+    }
+  }
+  throw std::invalid_argument("make_strategy: unknown StrategyKind");
+}
+
+std::vector<AdversarySlotFactory> make_cabal(const std::vector<int>& members,
+                                             const AdversaryConfig& cfg) {
+  auto view = std::make_shared<CabalView>();
+  view->members = members;
+  view->silence_after = cfg.silence_after;
+  std::vector<AdversarySlotFactory> out;
+  out.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    out.push_back([view](const AdversaryEnv& env) {
+      return std::make_unique<ColludingCabal>(env, view);
+    });
+  }
+  return out;
+}
+
+}  // namespace svss::adversary

@@ -1,0 +1,90 @@
+// Protocol-level adversary strategies (scenario axis of ROADMAP).
+//
+// The Byzantine library in core/byzantine.hpp models "honest code,
+// corrupted wire": the faulty process still runs the honest Node and an
+// interceptor rewrites its packets.  That covers value corruption but not
+// adversarial *protocol logic* — a dealer that genuinely runs two dealing
+// state machines on distinct bivariate polynomials, a process that watches
+// for shun accusations and changes its behaviour, or t colluders acting on
+// a shared view.  The paper's almost-sure-termination claim quantifies
+// over exactly such full-information strategies, so the termination sweep
+// (tests/sweep_common.hpp) needs them as first-class, pluggable processes.
+//
+// An IStrategy occupies a whole process slot (core/adversary_slot.hpp).
+// Strategies typically *host* one or more honest Nodes internally — full
+// protocol replicas whose traffic the strategy forks, partitions, rewrites
+// or withholds at the process boundary — so they speak every layer of the
+// stack without reimplementing it, while still being free to deviate
+// arbitrarily.  ByzConfig wire interceptors compose on top (the Runner
+// chains them after the strategy's outbound gate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/adversary_slot.hpp"
+
+namespace svss::adversary {
+
+enum class StrategyKind {
+  // Split-brain dealer: two full honest-code forks, each dealing its own
+  // (distinct) bivariate polynomial; fork 0 talks to the lower half of the
+  // process ids, fork 1 to the upper half.
+  kEquivocatingDealer,
+  // Corrupts its reconstruct broadcasts (the attack DMM rules 2-3 catch)
+  // until it observes a shun accusation against itself, then switches to
+  // fully honest behaviour to evade further detection.
+  kAdaptiveShunAware,
+  // Runs the honest protocol but never publishes its moderator M-set
+  // broadcasts, stalling every MW-SVSS session it moderates.
+  kWithholdingModerator,
+  // t coordinated faults sharing a view: a common false-value delta shown
+  // to the lower half, true values among members, a shared accusation
+  // watch (first member accused -> all evade), and an optional shared
+  // silence clock (coordinated simultaneous crash).
+  kColludingCabal,
+};
+
+inline constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kEquivocatingDealer,
+    StrategyKind::kAdaptiveShunAware,
+    StrategyKind::kWithholdingModerator,
+    StrategyKind::kColludingCabal,
+};
+
+[[nodiscard]] const char* strategy_name(StrategyKind kind);
+
+struct AdversaryConfig {
+  StrategyKind kind = StrategyKind::kEquivocatingDealer;
+  // kColludingCabal: all members crash in the same observed instant once
+  // the cabal has jointly witnessed this many deliveries (0 = never).
+  std::uint64_t silence_after = 0;
+};
+
+// Common strategy plumbing: env/stats storage and start-action capture.
+class IStrategy : public AdversarySlot {
+ public:
+  explicit IStrategy(const AdversaryEnv& env) : env_(env) {}
+
+  void set_start_action(std::function<void(Context&, Node&)> action) override {
+    start_action_ = std::move(action);
+  }
+  [[nodiscard]] const StrategyStats& stats() const override { return stats_; }
+
+ protected:
+  AdversaryEnv env_;
+  StrategyStats stats_;
+  std::function<void(Context&, Node&)> start_action_;
+};
+
+// Factory for a standalone strategy slot (kColludingCabal becomes a cabal
+// of one; use install_cabal for a real one).
+[[nodiscard]] AdversarySlotFactory make_strategy(const AdversaryConfig& cfg);
+
+// Factories for a cabal whose members share one view.  members lists the
+// slots the factories will occupy, in order.
+[[nodiscard]] std::vector<AdversarySlotFactory> make_cabal(
+    const std::vector<int>& members, const AdversaryConfig& cfg);
+
+}  // namespace svss::adversary

@@ -13,10 +13,8 @@ void perturb_vals(Message& m, Fp delta) {
   for (Fp& v : m.vals) v += delta;
 }
 
-// Applies `mutate` to the application message carried by `p` — directly for
-// direct packets, through (de)serialization for the value of the process's
-// own RB phase-1 sends.  Relayed RB traffic (echo/ready for other origins)
-// is left alone unless `mutate_relays` is set.
+// See mutate_outbound_message below; template form avoids std::function
+// overhead on the interceptor hot path.
 template <typename Fn>
 void mutate_packet(Packet& p, int self, Fn&& mutate, bool mutate_relays) {
   if (!p.is_rb) {
@@ -32,6 +30,12 @@ void mutate_packet(Packet& p, int self, Fn&& mutate, bool mutate_relays) {
 }
 
 }  // namespace
+
+void mutate_outbound_message(Packet& p, int self,
+                             const std::function<void(Message&)>& mutate,
+                             bool mutate_relays) {
+  mutate_packet(p, self, mutate, mutate_relays);
+}
 
 Engine::Interceptor make_byzantine_interceptor(const ByzConfig& cfg, int n,
                                                int t, std::uint64_t seed) {

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/engine.hpp"
+#include "sim/message.hpp"
 
 namespace svss {
 
@@ -38,5 +40,14 @@ struct ByzConfig {
 // (n, t) system.  `seed` makes randomized strategies reproducible.
 Engine::Interceptor make_byzantine_interceptor(const ByzConfig& cfg, int n,
                                                int t, std::uint64_t seed);
+
+// Applies `mutate` to the application message carried by `p` — directly for
+// direct packets, through (de)serialization for the value of the process's
+// own RB phase-1 sends.  Relayed RB traffic (echo/ready for other origins)
+// is left alone unless `mutate_relays` is set.  Shared by the interceptor
+// library above and the protocol-level strategies in src/adversary/.
+void mutate_outbound_message(Packet& p, int self,
+                             const std::function<void(Message&)>& mutate,
+                             bool mutate_relays);
 
 }  // namespace svss

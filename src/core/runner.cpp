@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace svss {
@@ -43,23 +44,64 @@ Runner::Runner(RunnerConfig cfg)
               make_scheduler(cfg_.scheduler, cfg_.seed ^ 0x5C4EDULL, cfg_.n,
                              cfg_.t)) {
   nodes_.resize(static_cast<std::size_t>(cfg_.n));
+  advs_.resize(static_cast<std::size_t>(cfg_.n));
   for (int i = 0; i < cfg_.n; ++i) {
+    std::uint64_t slot_seed =
+        cfg_.seed * 1315423911ULL + static_cast<std::uint64_t>(i);
+    auto fit = cfg_.faults.find(i);
+    Engine::Interceptor wire;
+    if (fit != cfg_.faults.end() && fit->second.kind != ByzKind::kHonest) {
+      wire = make_byzantine_interceptor(fit->second, cfg_.n, cfg_.t,
+                                        slot_seed);
+    }
+    auto ait = cfg_.adversaries.find(i);
+    if (ait != cfg_.adversaries.end()) {
+      // Adversary slot: the strategy replaces the honest Node.  Its
+      // outbound gate runs first; a ByzConfig wire interceptor for the
+      // same slot composes on top of whatever the strategy emits.
+      AdversaryEnv env{i, cfg_.n, cfg_.t, slot_seed};
+      std::unique_ptr<AdversarySlot> slot = ait->second(env);
+      if (!slot) throw std::invalid_argument("Runner: null adversary slot");
+      advs_[static_cast<std::size_t>(i)] = slot.get();
+      AdversarySlot* raw = slot.get();
+      engine_.set_process(i, std::move(slot));
+      engine_.set_interceptor(
+          i, [raw, wire](int from, int to, Packet& p) {
+            if (!raw->on_outbound(to, p)) return false;
+            return !wire || wire(from, to, p);
+          });
+      continue;
+    }
     auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t);
     nodes_[static_cast<std::size_t>(i)] = node.get();
     engine_.set_process(i, std::move(node));
-    auto fit = cfg_.faults.find(i);
-    if (fit != cfg_.faults.end() && fit->second.kind != ByzKind::kHonest) {
-      engine_.set_interceptor(
-          i, make_byzantine_interceptor(fit->second, cfg_.n, cfg_.t,
-                                        cfg_.seed * 1315423911ULL +
-                                            static_cast<std::uint64_t>(i)));
-    }
+    if (wire) engine_.set_interceptor(i, std::move(wire));
   }
 }
 
-Node& Runner::node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+Node& Runner::node(int i) {
+  Node* n = nodes_.at(static_cast<std::size_t>(i));
+  if (n == nullptr) {
+    throw std::logic_error("Runner: slot " + std::to_string(i) +
+                           " hosts an adversary strategy, not a Node");
+  }
+  return *n;
+}
+
+AdversarySlot* Runner::adversary(int i) {
+  return advs_.at(static_cast<std::size_t>(i));
+}
+
+void Runner::set_slot_start(int i, std::function<void(Context&, Node&)> a) {
+  if (AdversarySlot* adv = advs_.at(static_cast<std::size_t>(i))) {
+    adv->set_start_action(std::move(a));
+  } else {
+    node(i).set_start_action(std::move(a));
+  }
+}
 
 bool Runner::is_honest(int i) const {
+  if (cfg_.adversaries.count(i) != 0) return false;
   auto it = cfg_.faults.find(i);
   return it == cfg_.faults.end() || it->second.kind == ByzKind::kHonest;
 }
@@ -82,7 +124,7 @@ std::vector<std::pair<int, int>> Runner::honest_shun_pairs() const {
 
 RunStatus Runner::run_until_honest(
     const std::function<bool(const Node&)>& pred) {
-  return engine_.run_until(
+  RunStatus status = engine_.run_until(
       [this, &pred] {
         for (int i : honest_ids()) {
           if (!pred(node(i))) return false;
@@ -90,6 +132,15 @@ RunStatus Runner::run_until_honest(
         return true;
       },
       cfg_.max_deliveries);
+  if (status == RunStatus::kDeliveryCap && cfg_.warn_on_cap) {
+    // Never silent: a capped run is a potential non-termination witness.
+    // The flag also lands in Metrics::capped for programmatic sweeps.
+    std::fprintf(stderr,
+                 "Runner: delivery cap hit (seed=%llu n=%d t=%d): %s\n",
+                 static_cast<unsigned long long>(cfg_.seed), cfg_.n, cfg_.t,
+                 engine_.metrics().summary().c_str());
+  }
+  return status;
 }
 
 // ---------------------------------------------------------------------
@@ -98,11 +149,11 @@ RunStatus Runner::run_until_honest(
 Runner::MwResult Runner::run_mwsvss(Fp secret, Fp moderator_input, int dealer,
                                     int moderator, bool reconstruct) {
   SessionId sid = mw_top_id(1, dealer, moderator);
-  node(dealer).set_start_action([sid, secret](Context& c, Node& nd) {
+  set_slot_start(dealer, [sid, secret](Context& c, Node& nd) {
     nd.mw(c, sid).deal(c, secret);
   });
   if (moderator != dealer) {
-    node(moderator).set_start_action(
+    set_slot_start(moderator,
         [sid, moderator_input](Context& c, Node& nd) {
           nd.mw(c, sid).set_moderator_input(c, moderator_input);
         });
@@ -123,6 +174,7 @@ Runner::MwResult Runner::run_mwsvss(Fp secret, Fp moderator_input, int dealer,
     // Every process that completed the share phase enters R' — including
     // Byzantine ones, which run the honest code behind a corrupted wire.
     for (int i = 0; i < cfg_.n; ++i) {
+      if (nodes_[static_cast<std::size_t>(i)] == nullptr) continue;
       const MwSvssSession* s = node(i).find_mw(sid);
       if (s == nullptr || !s->share_complete()) continue;
       Context c = ctx(i);
@@ -152,7 +204,7 @@ Runner::MwResult Runner::run_mwsvss(Fp secret, Fp moderator_input, int dealer,
 // ---------------------------------------------------------------------
 Runner::SvssResult Runner::run_svss(Fp secret, int dealer, bool reconstruct) {
   SessionId sid = svss_top_id(1, dealer);
-  node(dealer).set_start_action([sid, secret](Context& c, Node& nd) {
+  set_slot_start(dealer, [sid, secret](Context& c, Node& nd) {
     nd.svss(c, sid).deal(c, secret);
   });
 
@@ -169,6 +221,7 @@ Runner::SvssResult Runner::run_svss(Fp secret, int dealer, bool reconstruct) {
 
   if (reconstruct && res.all_honest_shared) {
     for (int i = 0; i < cfg_.n; ++i) {
+      if (nodes_[static_cast<std::size_t>(i)] == nullptr) continue;
       const SvssSession* s = node(i).find_svss(sid);
       if (s == nullptr || !s->share_complete()) continue;
       Context c = ctx(i);
@@ -198,7 +251,7 @@ Runner::SvssResult Runner::run_svss(Fp secret, int dealer, bool reconstruct) {
 // ---------------------------------------------------------------------
 Runner::CoinResult Runner::run_coin(std::uint32_t round) {
   for (int i = 0; i < cfg_.n; ++i) {
-    node(i).set_start_action([round](Context& c, Node& nd) {
+    set_slot_start(i, [round](Context& c, Node& nd) {
       nd.coin(c, round).start(c);
     });
   }
@@ -236,7 +289,7 @@ Runner::AbaResult Runner::run_aba(const std::vector<int>& inputs,
   std::uint64_t coin_seed = cfg_.seed ^ 0xC01Full;
   for (int i = 0; i < cfg_.n; ++i) {
     int input = inputs[static_cast<std::size_t>(i)];
-    node(i).set_start_action([input, mode, coin_seed](Context& c, Node& nd) {
+    set_slot_start(i, [input, mode, coin_seed](Context& c, Node& nd) {
       nd.start_aba(c, input, mode, coin_seed);
     });
   }
@@ -271,7 +324,7 @@ Runner::AbaResult Runner::run_benor(const std::vector<int>& inputs) {
   }
   for (int i = 0; i < cfg_.n; ++i) {
     int input = inputs[static_cast<std::size_t>(i)];
-    node(i).set_start_action([input](Context& c, Node& nd) {
+    set_slot_start(i, [input](Context& c, Node& nd) {
       nd.start_benor(c, input);
     });
   }
@@ -311,7 +364,7 @@ Runner::AcsResult Runner::run_acs(const std::vector<Bytes>& proposals,
   std::uint64_t coin_seed = cfg_.seed ^ 0xAC5ull;
   for (int i = 0; i < cfg_.n; ++i) {
     Bytes proposal = proposals[static_cast<std::size_t>(i)];
-    node(i).set_start_action(
+    set_slot_start(i,
         [proposal, mode, coin_seed](Context& c, Node& nd) {
           nd.start_acs(c, proposal, mode, coin_seed);
         });
@@ -345,7 +398,7 @@ Runner::MvbaResult Runner::run_mvba(const std::vector<Fp>& proposals,
   std::uint64_t coin_seed = cfg_.seed ^ 0x3BAull;
   for (int i = 0; i < cfg_.n; ++i) {
     Fp proposal = proposals[static_cast<std::size_t>(i)];
-    node(i).set_start_action(
+    set_slot_start(i,
         [proposal, default_value, mode, coin_seed](Context& c, Node& nd) {
           nd.start_mvba(c, proposal, default_value, mode, coin_seed);
         });
@@ -380,7 +433,7 @@ Runner::SumResult Runner::run_secure_sum(const std::vector<Fp>& inputs,
   std::uint64_t coin_seed = cfg_.seed ^ 0x50Cull;
   for (int i = 0; i < cfg_.n; ++i) {
     Fp input = inputs[static_cast<std::size_t>(i)];
-    node(i).set_start_action([input, mode, coin_seed](Context& c, Node& nd) {
+    set_slot_start(i, [input, mode, coin_seed](Context& c, Node& nd) {
       nd.start_secure_sum(c, input, mode, coin_seed);
     });
   }

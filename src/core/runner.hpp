@@ -1,12 +1,13 @@
 // core::Runner — reproducible end-to-end experiment harness.
 //
-// A Runner assembles an Engine with n Nodes, installs Byzantine wire
-// interceptors for the configured faulty processes, and exposes canned
-// experiment drivers for every layer of the stack: one MW-SVSS session,
-// one SVSS session, one common-coin round, and full agreement runs (the
-// paper's protocol plus the Bracha-local-coin and Ben-Or baselines).
-// Every run is a pure function of the config, so any interesting outcome
-// can be replayed from its seed.
+// A Runner assembles an Engine with n process slots — each hosting either
+// an honest Node or an adversary strategy (src/adversary/) — installs
+// Byzantine wire interceptors for the configured faulty processes, and
+// exposes canned experiment drivers for every layer of the stack: one
+// MW-SVSS session, one SVSS session, one common-coin round, and full
+// agreement runs (the paper's protocol plus the Bracha-local-coin and
+// Ben-Or baselines).  Every run is a pure function of the config, so any
+// interesting outcome can be replayed from its seed.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "core/adversary_slot.hpp"
 #include "core/byzantine.hpp"
 #include "core/node.hpp"
 #include "sim/engine.hpp"
@@ -28,12 +30,20 @@ struct RunnerConfig {
   std::uint64_t seed = 1;
   SchedulerKind scheduler = SchedulerKind::kRandom;
   std::map<int, ByzConfig> faults;  // id -> behaviour (absent == honest)
+  // id -> adversary strategy occupying that slot instead of an honest
+  // Node.  Populated via the svss::adversary install helpers.  A slot may
+  // additionally appear in `faults`; its wire interceptor then composes on
+  // top of the strategy's outbound gate.
+  std::map<int, AdversarySlotFactory> adversaries;
   std::uint64_t max_deliveries = 50'000'000;
   // The paper's protocols are only safe at optimal resilience n >= 3t+1;
   // the Runner rejects weaker configs unless this is set.  Experiments
   // that deliberately cross the bound (e.g. bench_resilience's n = 3t
   // stall demonstration) opt in explicitly.
   bool allow_sub_resilience = false;
+  // Print a one-line warning to stderr when a run stops at the delivery
+  // cap (the outcome is also surfaced in Metrics::capped either way).
+  bool warn_on_cap = true;
 };
 
 // Canonical session ids for top-level invocations.
@@ -45,7 +55,10 @@ class Runner {
   explicit Runner(RunnerConfig cfg);
 
   Engine& engine() { return engine_; }
+  // The honest Node in slot i; throws if the slot hosts an adversary.
   Node& node(int i);
+  // The adversary strategy in slot i, or nullptr for honest slots.
+  [[nodiscard]] AdversarySlot* adversary(int i);
   Context ctx(int i) { return Context(engine_, i); }
   [[nodiscard]] bool is_honest(int i) const;
   [[nodiscard]] std::vector<int> honest_ids() const;
@@ -147,10 +160,14 @@ class Runner {
 
  private:
   RunStatus run_until_honest(const std::function<bool(const Node&)>& pred);
+  // Routes a driver's start action to whatever occupies slot i (honest
+  // Node or adversary strategy).
+  void set_slot_start(int i, std::function<void(Context&, Node&)> action);
 
   RunnerConfig cfg_;
   Engine engine_;
-  std::vector<Node*> nodes_;  // borrowed from engine-owned processes
+  std::vector<Node*> nodes_;         // borrowed; nullptr for adversary slots
+  std::vector<AdversarySlot*> advs_; // borrowed; nullptr for honest slots
 };
 
 }  // namespace svss

@@ -150,7 +150,11 @@ RunStatus Engine::run_until(const std::function<bool()>& done,
   }
   std::uint64_t budget = max_deliveries;
   while (!idle() && !done()) {
-    if (budget-- == 0) return RunStatus::kDeliveryCap;
+    if (budget-- == 0) {
+      metrics_.capped = true;
+      metrics_.deliveries_at_cap = delivered_;
+      return RunStatus::kDeliveryCap;
+    }
     deliver_one();
   }
   return RunStatus::kQuiescent;

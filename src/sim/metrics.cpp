@@ -1,3 +1,16 @@
 #include "sim/metrics.hpp"
 
-namespace svss {}
+namespace svss {
+
+std::string Metrics::summary() const {
+  std::string s = "delivered " + std::to_string(packets_delivered) + "/" +
+                  std::to_string(packets_sent) + " packets (" +
+                  std::to_string(bytes_sent) + " bytes, depth " +
+                  std::to_string(max_depth) + ")";
+  if (capped) {
+    s += " [CAPPED at " + std::to_string(deliveries_at_cap) + " deliveries]";
+  }
+  return s;
+}
+
+}  // namespace svss

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace svss {
 
@@ -18,6 +19,12 @@ struct Metrics {
   std::uint64_t rb_transport_packets = 0;
   std::uint64_t direct_packets = 0;
   std::uint64_t max_depth = 0;  // causal depth == async rounds
+  // Non-termination guard: set when a run stops because it exhausted its
+  // `max_deliveries` budget rather than reaching quiescence or its goal.
+  // Almost-sure-termination sweeps report the rate of capped runs, so the
+  // cutoff must be a first-class outcome, not a silent truncation.
+  bool capped = false;
+  std::uint64_t deliveries_at_cap = 0;
 
   void merge(const Metrics& o) {
     packets_sent += o.packets_sent;
@@ -26,7 +33,14 @@ struct Metrics {
     rb_transport_packets += o.rb_transport_packets;
     direct_packets += o.direct_packets;
     if (o.max_depth > max_depth) max_depth = o.max_depth;
+    capped = capped || o.capped;
+    if (o.deliveries_at_cap > deliveries_at_cap) {
+      deliveries_at_cap = o.deliveries_at_cap;
+    }
   }
+
+  // One-line human-readable digest for runner/example summary output.
+  [[nodiscard]] std::string summary() const;
 };
 
 }  // namespace svss

@@ -1,0 +1,89 @@
+// Stress lane (ctest label "stress", SVSS_STRESS_TESTS=ON): scale runs
+// past the tier-1 envelope.  ROADMAP's scale axis: nothing in tier-1 runs
+// past n = 13; this lane pushes the agreement skeleton to n = 31 (t = 10,
+// optimal resilience) and runs the full SVSS-coin termination sweep at
+// n = 7, which is too slow for the default suite.
+#include <gtest/gtest.h>
+
+#include "sweep_common.hpp"
+
+namespace svss {
+namespace {
+
+std::vector<int> mixed_inputs(int n) {
+  std::vector<int> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+  return inputs;
+}
+
+// n = 31, t = 10: one full agreement run at the resilience bound.  The
+// ideal-coin abstraction keeps the SCC out of the packet count (the full
+// stack is O(n^7) messages — measured separately); what scales here is the
+// voting skeleton: ~n RB broadcasts per round, each O(n^2) transport
+// packets, through the scheduler heap and serialization paths.
+TEST(Stress, Aba31AtResilienceBound) {
+  RunnerConfig cfg;
+  cfg.n = 31;
+  cfg.t = 10;
+  cfg.seed = 3101;
+  cfg.max_deliveries = 500'000'000;
+  Runner r(cfg);
+  auto res = r.run_aba(mixed_inputs(31), CoinMode::kIdealCommon);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_FALSE(res.metrics.capped);
+}
+
+// Same lane with the full t = 10 fault budget spent on a colluding cabal
+// that crashes simultaneously mid-run: a third of the system vanishing in
+// one instant must not stall the remaining 21 processes.
+TEST(Stress, Aba31WithCoordinatedCabalCrash) {
+  RunnerConfig cfg;
+  cfg.n = 31;
+  cfg.t = 10;
+  cfg.seed = 3102;
+  cfg.max_deliveries = 500'000'000;
+  std::vector<int> members;
+  for (int i = 21; i < 31; ++i) members.push_back(i);
+  adversary::install_cabal(
+      cfg, members,
+      adversary::AdversaryConfig{adversary::StrategyKind::kColludingCabal,
+                                 /*silence_after=*/20'000});
+  Runner r(cfg);
+  auto res = r.run_aba(mixed_inputs(31), CoinMode::kIdealCommon);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_FALSE(res.metrics.capped);
+  EXPECT_GT(r.adversary(21)->stats().withheld, 0u);
+  EXPECT_GT(r.adversary(30)->stats().withheld, 0u);
+}
+
+// Full SVSS-coin termination sweep at n = 7 (t = 2 strategy-driven
+// faults): the tier-1 sweep runs this size only under the ideal coin; the
+// stress lane pays for the real thing.
+TEST(Stress, FullStackSweepN7) {
+  sweep::SweepSpec spec;
+  spec.ns = {7};
+  spec.full_stack_max_n = 7;  // force CoinMode::kSvss
+  spec.strategies = {std::begin(adversary::kAllStrategies),
+                     std::end(adversary::kAllStrategies)};
+  spec.schedulers = {SchedulerKind::kFifo, SchedulerKind::kRandom};
+  // Seed list spans the input patterns (seed mod 4): two mixed-input
+  // seeds for adversarial coin pressure, one all-0 and one all-1 seed so
+  // the validity counter is falsifiable.
+  spec.seeds = {60, 61, 62, 63};
+  spec.max_deliveries = 200'000'000;
+  auto report = sweep::run_aba_termination_sweep(spec);
+  EXPECT_EQ(report.safety_violations, 0) << report.to_json();
+  EXPECT_EQ(report.capped_runs, 0) << report.to_json();
+  EXPECT_EQ(report.undecided_runs, 0) << report.to_json();
+  for (auto strategy : spec.strategies) {
+    EXPECT_GT(report.attacked_count(strategy), 0)
+        << adversary::strategy_name(strategy) << " never attacked:\n"
+        << report.to_json();
+  }
+  sweep::maybe_write_report(report, "stress-full-stack-n7");
+}
+
+}  // namespace
+}  // namespace svss
