@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a fresh `--benchmark_format=json` run against the committed
+baseline and fails on a >20% regression in any gated counter.
+
+The gated counters are the *deterministic* protocol-cost series (msgs,
+bytes, rounds): per bench/baselines/README.md they are a pure function of
+the seed, so any increase is a real cost regression, not machine noise.
+Wall-clock (`real_time`) is machine-specific and reported informationally
+only — regenerate baselines on CI-comparable hardware when a perf PR lands.
+
+Usage:
+  check_regression.py NEW.json BASELINE.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_COUNTERS = ("msgs", "bytes", "rounds")
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional increase (default 0.20)")
+    args = parser.parse_args()
+
+    new = load(args.new_json)
+    base = load(args.baseline_json)
+
+    failures = []
+    for name, base_bench in sorted(base.items()):
+        new_bench = new.get(name)
+        if new_bench is None:
+            failures.append(f"{name}: missing from new run")
+            continue
+        for key in GATED_COUNTERS:
+            if key not in base_bench:
+                continue
+            b, n = base_bench[key], new_bench.get(key)
+            if n is None:
+                failures.append(f"{name}/{key}: counter disappeared")
+                continue
+            limit = b * (1.0 + args.threshold)
+            verdict = "FAIL" if (b > 0 and n > limit) else "ok"
+            delta = (n - b) / b * 100.0 if b else 0.0
+            print(f"{verdict:4} {name:55} {key:6} "
+                  f"base={b:14.0f} new={n:14.0f} ({delta:+6.1f}%)")
+            if verdict == "FAIL":
+                failures.append(f"{name}/{key}: {b:.0f} -> {n:.0f} "
+                                f"({delta:+.1f}% > +{args.threshold:.0%})")
+        # Informational: wall-clock delta (not gated; machine-specific).
+        bt, nt = base_bench.get("real_time"), new_bench.get("real_time")
+        if bt and nt:
+            print(f"info {name:55} time   "
+                  f"base={bt:14.2f} new={nt:14.2f} "
+                  f"({(nt - bt) / bt * 100.0:+6.1f}%) [not gated]")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench gate: all counters within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

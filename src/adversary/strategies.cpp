@@ -15,6 +15,8 @@ const char* strategy_name(StrategyKind kind) {
     case StrategyKind::kAdaptiveShunAware: return "adaptive-shun-aware";
     case StrategyKind::kWithholdingModerator: return "withholding-moderator";
     case StrategyKind::kColludingCabal: return "colluding-cabal";
+    case StrategyKind::kEquivocatingAcsProposer:
+      return "equivocating-acs-proposer";
   }
   return "unknown";
 }
@@ -22,30 +24,24 @@ const char* strategy_name(StrategyKind kind) {
 namespace {
 
 // --------------------------------------------------------------------
-// EquivocatingDealer — a split-brain process.
+// Split-brain plumbing shared by the equivocating strategies.
 //
 // Two complete honest Nodes run side by side in one slot.  Every inbound
 // packet is fed to both; each fork's own traffic (direct messages and RB
 // steps of broadcasts it originates) reaches only its half of the process
 // ids, and fork 0 alone relays other processes' broadcasts so relay duty
-// is not duplicated.  When the slot is asked to deal, both forks execute
-// the full dealer state machine — drawing *distinct* bivariate polynomials
-// from the slot's RNG stream — so the two halves of the system are courted
-// with genuinely different dealings, not just perturbed values.  (Bracha
-// RB provably survives this at n >= 3t+1: the equivocated broadcasts
-// deliver one value or none, never two — which is exactly the liveness
-// pressure the shunning machinery must absorb.)
+// is not duplicated.  Both forks receive the driver's start action, so
+// role payloads (deal this secret, propose these bytes) execute twice
+// against the slot's RNG stream — already a genuine divergence wherever
+// the role draws randomness.  Derived strategies add their own fork-1
+// deviation through fork_deviation().
 // --------------------------------------------------------------------
-class EquivocatingDealer final : public IStrategy {
+class SplitBrainStrategy : public IStrategy {
  public:
-  explicit EquivocatingDealer(const AdversaryEnv& env) : IStrategy(env) {
+  explicit SplitBrainStrategy(const AdversaryEnv& env) : IStrategy(env) {
     for (auto& b : branch_) {
-      b = std::make_unique<Node>(env.self, env.n, env.t);
+      b = std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin);
     }
-  }
-
-  [[nodiscard]] const char* strategy_name() const override {
-    return adversary::strategy_name(StrategyKind::kEquivocatingDealer);
   }
 
   void start(Context& ctx) override {
@@ -73,12 +69,18 @@ class EquivocatingDealer final : public IStrategy {
     bool allow = own ? partition(to) == active_ : active_ == 0;
     if (!allow) {
       ++stats_.withheld;
-    } else {
-      ++stats_.emitted;
-      if (active_ == 1) ++stats_.forked;
+      return false;
     }
-    return allow;
+    if (active_ == 1) fork_deviation(p);
+    ++stats_.emitted;
+    if (active_ == 1) ++stats_.forked;
+    return true;
   }
+
+ protected:
+  // Extra rewrite applied to fork 1's allowed packets (beyond the fork's
+  // independently drawn randomness).  Default: none.
+  virtual void fork_deviation(Packet& p) { (void)p; }
 
  private:
   [[nodiscard]] int partition(int to) const {
@@ -87,6 +89,59 @@ class EquivocatingDealer final : public IStrategy {
 
   std::unique_ptr<Node> branch_[2];
   int active_ = 0;  // fork currently executing (single-threaded engine)
+};
+
+// --------------------------------------------------------------------
+// EquivocatingDealer — a split-brain dealer.
+//
+// When the slot is asked to deal, both forks execute the full dealer
+// state machine — drawing *distinct* bivariate polynomials from the
+// slot's RNG stream — so the two halves of the system are courted with
+// genuinely different dealings, not just perturbed values.  (Bracha RB
+// provably survives this at n >= 3t+1: the equivocated broadcasts
+// deliver one value or none, never two — which is exactly the liveness
+// pressure the shunning machinery must absorb.)
+// --------------------------------------------------------------------
+class EquivocatingDealer final : public SplitBrainStrategy {
+ public:
+  using SplitBrainStrategy::SplitBrainStrategy;
+
+  [[nodiscard]] const char* strategy_name() const override {
+    return adversary::strategy_name(StrategyKind::kEquivocatingDealer);
+  }
+};
+
+// --------------------------------------------------------------------
+// EquivocatingAcsProposer — a split-brain common-subset proposer.
+//
+// The deviation targets the ACS driver: fork 1's own kAcsProposal
+// broadcast is rewritten to carry a different proposal, so the lower half
+// of the system is courted with one common-subset candidate and the upper
+// half with another.  Each fork then runs the full ACS/ABA stack
+// consistently with its own story (vouching, per-instance votes), which
+// is exactly the pressure RB + per-instance agreement must absorb: the
+// subset either excludes the proposer or contains one consistent proposal
+// everywhere.
+// --------------------------------------------------------------------
+class EquivocatingAcsProposer final : public SplitBrainStrategy {
+ public:
+  using SplitBrainStrategy::SplitBrainStrategy;
+
+  [[nodiscard]] const char* strategy_name() const override {
+    return adversary::strategy_name(StrategyKind::kEquivocatingAcsProposer);
+  }
+
+ protected:
+  void fork_deviation(Packet& p) override {
+    if (p.is_rb && p.phase == RbPhase::kSend && p.bid.origin == env_.self &&
+        p.bid.slot == MsgType::kAcsProposal) {
+      mutate_outbound_message(
+          p, env_.self,
+          [](Message& m) { m.blob.push_back(0x5A); },
+          /*mutate_relays=*/false);
+      ++stats_.mutated;
+    }
+  }
 };
 
 // --------------------------------------------------------------------
@@ -105,7 +160,7 @@ class AdaptiveShunAware final : public IStrategy {
  public:
   explicit AdaptiveShunAware(const AdversaryEnv& env)
       : IStrategy(env),
-        node_(std::make_unique<Node>(env.self, env.n, env.t)) {}
+        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin)) {}
 
   [[nodiscard]] const char* strategy_name() const override {
     return adversary::strategy_name(StrategyKind::kAdaptiveShunAware);
@@ -166,7 +221,7 @@ class WithholdingModerator final : public IStrategy {
  public:
   explicit WithholdingModerator(const AdversaryEnv& env)
       : IStrategy(env),
-        node_(std::make_unique<Node>(env.self, env.n, env.t)) {}
+        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin)) {}
 
   [[nodiscard]] const char* strategy_name() const override {
     return adversary::strategy_name(StrategyKind::kWithholdingModerator);
@@ -223,7 +278,7 @@ class ColludingCabal final : public IStrategy {
   ColludingCabal(const AdversaryEnv& env, std::shared_ptr<CabalView> view)
       : IStrategy(env),
         view_(std::move(view)),
-        node_(std::make_unique<Node>(env.self, env.n, env.t)) {}
+        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin)) {}
 
   [[nodiscard]] const char* strategy_name() const override {
     return adversary::strategy_name(StrategyKind::kColludingCabal);
@@ -295,6 +350,10 @@ AdversarySlotFactory make_strategy(const AdversaryConfig& cfg) {
     case StrategyKind::kEquivocatingDealer:
       return [](const AdversaryEnv& env) {
         return std::make_unique<EquivocatingDealer>(env);
+      };
+    case StrategyKind::kEquivocatingAcsProposer:
+      return [](const AdversaryEnv& env) {
+        return std::make_unique<EquivocatingAcsProposer>(env);
       };
     case StrategyKind::kAdaptiveShunAware:
       return [](const AdversaryEnv& env) {

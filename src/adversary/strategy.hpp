@@ -44,8 +44,19 @@ enum class StrategyKind {
   // watch (first member accused -> all evade), and an optional shared
   // silence clock (coordinated simultaneous crash).
   kColludingCabal,
+  // Split-brain ACS proposer: two honest-code forks, partitioned per half
+  // like kEquivocatingDealer, with fork 1's kAcsProposal broadcast carrying
+  // a *different* proposal — each half of the system is courted with a
+  // consistent but conflicting common-subset candidate, and each fork's
+  // subsequent per-instance ABA votes back its own story.
+  kEquivocatingAcsProposer,
 };
 
+// The ABA/coin sweep catalogue (tests/sweep_common.hpp quantifies over
+// these).  kEquivocatingAcsProposer is deliberately absent: its deviation
+// only exists on the ACS path, so ABA cells would be vacuous and fail the
+// sweep's per-strategy coverage check — ACS-driven tests exercise it
+// (tests/adversary_test.cpp).
 inline constexpr StrategyKind kAllStrategies[] = {
     StrategyKind::kEquivocatingDealer,
     StrategyKind::kAdaptiveShunAware,

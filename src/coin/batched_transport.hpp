@@ -1,0 +1,99 @@
+// Batched coin-round SVSS transport.
+//
+// Every coin round attaches n SVSS sessions to each process: dealer d
+// shares one secret per attachee j under session id (round, d, j).  Dealt
+// individually, that is n direct share messages per recipient and n G-set
+// RB instances per dealer per round — and that dealing cost dominates the
+// wall-clock of every full-stack agreement run.  This transport multiplexes
+// the n sibling sessions of one (round, dealer) pair over shared wire
+// envelopes while keeping the per-session SvssSession interface intact:
+//
+//  * kSvssBatchShares (direct): the dealer's n per-session
+//    kSvssDealerShares messages to one recipient, concatenated in attachee
+//    order.  CoinSession::start opens a capture window around its dealing
+//    loop; the sessions still run their unmodified deal() code, and the
+//    window collects what they hand to send_direct.  One message per
+//    recipient replaces n.
+//  * kSvssBatchGset (RB): the n per-session kSvssGset broadcasts of one
+//    dealer, concatenated once the last sibling produced its set.  One RBC
+//    instance — one shared set of echo/ready rounds — replaces n.  This is
+//    liveness-neutral: the coin counts dealer d only when all n of d's
+//    sessions completed, so no consumer can act before the slowest sibling
+//    anyway, and an honest dealer always eventually has all n sets.
+//
+// Receivers unpack an envelope into its per-session messages and feed them
+// through the normal per-session routing (DMM filter included), so every
+// correctness property keeps quantifying over individual SvssSessions, and
+// batched and unbatched processes interoperate in one run.  Wire values are
+// bit-identical to the unbatched path: the capture window changes framing,
+// never content or RNG consumption order (tests/batch_equivalence_test).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace svss {
+
+class BatchedSvssTransport {
+ public:
+  // Sink receiving the per-session messages of an unpacked envelope.
+  using SubMessageSink =
+      std::function<void(Context&, int sender, const Message&, bool via_rb)>;
+
+  BatchedSvssTransport(int self, int n, int t);
+
+  // Session id carried by both envelope types of (round, dealer): the
+  // attachee-0 slot with variant 1 marking "batch envelope".
+  static SessionId batch_sid(std::uint32_t round, int dealer);
+  // True for message types this transport owns.
+  static bool is_batch_type(MsgType type);
+
+  // --- dealer side -------------------------------------------------
+  // Capture window around CoinSession::start's dealing loop.
+  void open_window(std::uint32_t round);
+  [[nodiscard]] bool window_open() const { return window_open_; }
+  // Collects one per-session dealer-shares message while the window is
+  // open; returns false (caller sends normally) outside the window or for
+  // foreign sessions.
+  bool capture_dealer_shares(int to, const Message& m);
+  // Emits one kSvssBatchShares direct message per recipient and closes the
+  // window.
+  void close_window(Context& ctx);
+
+  // Collects one sibling session's kSvssGset payload; once all n are in,
+  // returns the combined kSvssBatchGset broadcast for the caller to RB.
+  std::optional<Message> capture_gset(const Message& m);
+
+  // --- receiver side -----------------------------------------------
+  // Splits a batch envelope into its per-session messages (attachee order)
+  // and hands each to `sink`.  Malformed envelopes are dropped whole; the
+  // sub-messages re-enter the exact validation the unbatched path applies.
+  static void unpack(Context& ctx, int n, int t, int sender, const Message& m,
+                     bool via_rb, const SubMessageSink& sink);
+
+ private:
+  int self_;
+  int n_;
+  int t_;
+
+  bool window_open_ = false;
+  std::uint32_t window_round_ = 0;
+  std::vector<FieldVec> pending_vals_;  // [recipient] concatenated shares
+  std::vector<int> pending_count_;      // [recipient] sessions captured
+
+  struct GsetParts {
+    int have = 0;
+    // [attachee] -> (G, per-member G_j blob) as broadcast by the session.
+    std::vector<std::optional<std::pair<std::vector<int>, Bytes>>> parts;
+  };
+  std::map<std::uint32_t, GsetParts> gset_rounds_;  // keyed by round
+};
+
+}  // namespace svss

@@ -62,6 +62,40 @@ Polynomial BivariatePolynomial::column(int j) const {
   return Polynomial(std::move(c));
 }
 
+void BivariatePolynomial::append_share_points(int j, int count, FieldVec& out,
+                                              FieldVec& scratch) const {
+  const auto deg = static_cast<std::size_t>(deg_);
+  const Fp p(j);
+  out.reserve(out.size() + 2 * static_cast<std::size_t>(count));
+
+  // g_j coefficients (of y^k): Horner in x down the coefficient rows.
+  scratch.assign(a_[deg].begin(), a_[deg].end());
+  for (std::size_t i = deg; i-- > 0;) {
+    const FieldVec& row = a_[i];
+    for (std::size_t k = 0; k <= deg; ++k) {
+      scratch[k] = scratch[k] * p + row[k];
+    }
+  }
+  for (int y = 1; y <= count; ++y) {
+    Fp acc = scratch[deg];
+    for (std::size_t k = deg; k-- > 0;) acc = acc * Fp(y) + scratch[k];
+    out.push_back(acc);
+  }
+
+  // h_j coefficients (of x^i): Horner in y along each coefficient row.
+  for (std::size_t i = 0; i <= deg; ++i) {
+    const FieldVec& row = a_[i];
+    Fp acc = row[deg];
+    for (std::size_t k = deg; k-- > 0;) acc = acc * p + row[k];
+    scratch[i] = acc;
+  }
+  for (int x = 1; x <= count; ++x) {
+    Fp acc = scratch[deg];
+    for (std::size_t i = deg; i-- > 0;) acc = acc * Fp(x) + scratch[i];
+    out.push_back(acc);
+  }
+}
+
 std::optional<BivariatePolynomial> BivariatePolynomial::interpolate_checked(
     const std::vector<Fp>& xs,
     const std::vector<std::vector<std::pair<Fp, Fp>>>& rows, int deg) {

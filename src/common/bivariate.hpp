@@ -33,6 +33,16 @@ class BivariatePolynomial {
   // h_j(x) = f(x, j): the "column" polynomial given to process j.
   [[nodiscard]] Polynomial column(int j) const;
 
+  // Appends g_j(1..count) followed by h_j(1..count) to `out` — the share
+  // vector the SVSS dealer hands process j-1 — in one pass over the
+  // coefficient grid per slice, reusing `scratch` as Horner state instead
+  // of materializing Polynomial objects.  Equals row(j).evaluate_range and
+  // column(j).evaluate_range value-for-value; the coin's batched dealing
+  // path evaluates all n sessions' share vectors through this without a
+  // single polynomial allocation.
+  void append_share_points(int j, int count, FieldVec& out,
+                           FieldVec& scratch) const;
+
   // Reconstructs the unique degree-(deg,deg) bivariate polynomial through a
   // grid of samples f(x_k, y_l), or nullopt if the samples are inconsistent
   // with any such polynomial.  `rows[k]` holds {(y_l, f(x_k, y_l))}.

@@ -23,10 +23,12 @@ void mutate_packet(Packet& p, int self, Fn&& mutate, bool mutate_relays) {
   }
   bool own_send = p.phase == RbPhase::kSend && p.bid.origin == self;
   if (!own_send && !mutate_relays) return;
-  auto msg = Message::deserialize(p.value);
+  auto msg = Message::deserialize(p.rb_payload());
   if (!msg) return;
   mutate(*msg);
-  p.value = msg->serialize();
+  // Copy-on-write: replace this recipient's pointer; the other copies of
+  // the send_all burst keep the unmutated shared payload.
+  p.value = std::make_shared<const Bytes>(msg->serialize());
 }
 
 }  // namespace

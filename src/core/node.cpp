@@ -2,7 +2,7 @@
 
 namespace svss {
 
-Node::Node(int self, int n, int t)
+Node::Node(int self, int n, int t, bool batched_coin)
     : self_(self), n_(n), t_(t),
       rbc_([this](Context& ctx, int origin, const Message& m) {
         // Accepted broadcasts re-enter routing with the origin as sender;
@@ -15,7 +15,11 @@ Node::Node(int self, int n, int t)
           [this](Context& ctx, int from, const Message& m, bool via_rb) {
             route_app(ctx, from, m, via_rb);
           },
-      }) {}
+      }) {
+  if (batched_coin) {
+    batch_ = std::make_unique<BatchedSvssTransport>(self, n, t);
+  }
+}
 
 void Node::start(Context& ctx) {
   if (start_action_) start_action_(ctx, *this);
@@ -75,13 +79,19 @@ void Node::route_app(Context& ctx, int sender, const Message& m,
     }
     case SessionPath::kSvssTop:
     case SessionPath::kSvssCoin: {
-      if (!dmm_.filter(ctx, sender, m, via_rb)) return;
-      SvssSession& s = svss(ctx, m.sid);
-      if (via_rb) {
-        s.on_broadcast(ctx, sender, m);
-      } else {
-        s.on_direct(ctx, sender, m);
+      if (BatchedSvssTransport::is_batch_type(m.type)) {
+        // Shared-transport envelope: split into the per-session messages
+        // and run each through the normal per-session path (DMM filter
+        // included).  Understood unconditionally, so batched and
+        // unbatched peers interoperate.
+        BatchedSvssTransport::unpack(
+            ctx, n_, t_, sender, m, via_rb,
+            [this](Context& c, int s, const Message& sub, bool rb) {
+              deliver_svss(c, s, sub, rb);
+            });
+        return;
       }
+      deliver_svss(ctx, sender, m, via_rb);
       return;
     }
     case SessionPath::kCoin:
@@ -129,29 +139,36 @@ void Node::route_app(Context& ctx, int sender, const Message& m,
   }
 }
 
+void Node::deliver_svss(Context& ctx, int sender, const Message& m,
+                        bool via_rb) {
+  if (!dmm_.filter(ctx, sender, m, via_rb)) return;
+  SvssSession& s = svss(ctx, m.sid);
+  if (via_rb) {
+    s.on_broadcast(ctx, sender, m);
+  } else {
+    s.on_direct(ctx, sender, m);
+  }
+}
+
 // ---------------------------------------------------------------------
 // Session access
 // ---------------------------------------------------------------------
 MwSvssSession& Node::mw(Context& ctx, const SessionId& sid) {
   (void)ctx;
-  auto it = mw_.find(sid);
-  if (it == mw_.end()) {
-    it = mw_.emplace(sid, std::make_unique<MwSvssSession>(*this, sid, self_,
-                                                          n_, t_))
-             .first;
+  std::unique_ptr<MwSvssSession>& slot = mw_[sid];
+  if (!slot) {
+    slot = std::make_unique<MwSvssSession>(*this, sid, self_, n_, t_);
   }
-  return *it->second;
+  return *slot;
 }
 
 SvssSession& Node::svss(Context& ctx, const SessionId& sid) {
   (void)ctx;
-  auto it = svss_.find(sid);
-  if (it == svss_.end()) {
-    it = svss_.emplace(sid, std::make_unique<SvssSession>(*this, sid, self_,
-                                                          n_, t_))
-             .first;
+  std::unique_ptr<SvssSession>& slot = svss_[sid];
+  if (!slot) {
+    slot = std::make_unique<SvssSession>(*this, sid, self_, n_, t_);
   }
-  return *it->second;
+  return *slot;
 }
 
 CoinSession& Node::coin(Context& ctx, std::uint32_t round) {
@@ -281,13 +298,13 @@ void Node::start_benor(Context& ctx, int input) {
 }
 
 const MwSvssSession* Node::find_mw(const SessionId& sid) const {
-  auto it = mw_.find(sid);
-  return it == mw_.end() ? nullptr : it->second.get();
+  const std::unique_ptr<MwSvssSession>* slot = mw_.find(sid);
+  return slot == nullptr ? nullptr : slot->get();
 }
 
 const SvssSession* Node::find_svss(const SessionId& sid) const {
-  auto it = svss_.find(sid);
-  return it == svss_.end() ? nullptr : it->second.get();
+  const std::unique_ptr<SvssSession>* slot = svss_.find(sid);
+  return slot == nullptr ? nullptr : slot->get();
 }
 
 const CoinSession* Node::find_coin(std::uint32_t round) const {
@@ -299,11 +316,31 @@ const CoinSession* Node::find_coin(std::uint32_t round) const {
 // Host plumbing
 // ---------------------------------------------------------------------
 void Node::rb_broadcast(Context& ctx, const Message& m) {
+  if (batch_ && m.type == MsgType::kSvssGset &&
+      m.sid.path == SessionPath::kSvssCoin && m.sid.owner == self_) {
+    // Batch the n sibling sessions' G-sets into one RBC instance: the
+    // shared echo/ready rounds replace n per-session ones.  The combined
+    // broadcast goes out when the last sibling produced its set.
+    if (auto batched = batch_->capture_gset(m)) {
+      rbc_.broadcast(ctx, *batched);
+    }
+    return;
+  }
   rbc_.broadcast(ctx, m);
 }
 
 void Node::send_direct(Context& ctx, int to, Message m) {
+  if (batch_ && batch_->capture_dealer_shares(to, m)) return;
   ctx.send(to, make_direct(std::move(m)));
+}
+
+void Node::svss_batch_window(Context& ctx, std::uint32_t round, bool open) {
+  if (!batch_) return;
+  if (open) {
+    batch_->open_window(round);
+  } else {
+    batch_->close_window(ctx);
+  }
 }
 
 MwSvssSession& Node::mw_child(Context& ctx, const SessionId& child) {
@@ -327,7 +364,9 @@ void Node::mw_recon_output(Context& ctx, const SessionId& sid,
     svss(ctx, *parent).on_child_output(ctx, sid, value);
   }
   if (observers.mw_output) observers.mw_output(ctx, sid, value);
-  if (auto it = mw_.find(sid); it != mw_.end()) it->second->compact();
+  if (auto* slot = mw_.find(sid); slot != nullptr && *slot) {
+    (*slot)->compact();
+  }
 }
 
 void Node::svss_share_completed(Context& ctx, const SessionId& sid) {

@@ -21,11 +21,14 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/flat_map.hpp"
+
 #include "aba/aba.hpp"
 #include "aba/local_coin_aba.hpp"
 #include "aba/multivalued.hpp"
 #include "acs/acs.hpp"
 #include "asmpc/secure_sum.hpp"
+#include "coin/batched_transport.hpp"
 #include "coin/coin.hpp"
 #include "dmm/dmm.hpp"
 #include "mwsvss/mwsvss.hpp"
@@ -57,7 +60,11 @@ class Node : public IProcess,
              public SecureSumHost,
              public MvbaHost {
  public:
-  Node(int self, int n, int t);
+  // `batched_coin` multiplexes the n coin-owned SVSS sessions per round
+  // over the shared transport envelopes (src/coin/batched_transport.hpp).
+  // Inbound envelopes are always understood, so batched and unbatched
+  // nodes interoperate; the flag only selects this node's dealing framing.
+  Node(int self, int n, int t, bool batched_coin = true);
 
   // Invoked once by the engine before any delivery; used by runners to
   // kick off deals / agreement inputs.
@@ -123,6 +130,8 @@ class Node : public IProcess,
                          std::optional<Fp> value) override;
   SvssSession& svss_child(Context& ctx, const SessionId& sid) override;
   void coin_output(Context& ctx, std::uint32_t round, int bit) override;
+  void svss_batch_window(Context& ctx, std::uint32_t round,
+                         bool open) override;
   void start_coin(Context& ctx, std::uint32_t round) override;
   void aba_decided(Context& ctx, int value, std::uint32_t round,
                    std::uint32_t instance) override;
@@ -136,6 +145,9 @@ class Node : public IProcess,
 
  private:
   void route_app(Context& ctx, int sender, const Message& m, bool via_rb);
+  // DMM-filtered per-session delivery for the SVSS layers (both the direct
+  // path and the sub-messages of unpacked batch envelopes).
+  void deliver_svss(Context& ctx, int sender, const Message& m, bool via_rb);
   AbaSession& aba_instance(std::uint32_t instance);
   [[nodiscard]] bool sane_sid(const SessionId& sid) const;
 
@@ -144,10 +156,12 @@ class Node : public IProcess,
   int t_;
   Rbc rbc_;
   Dmm dmm_;
-  std::unordered_map<SessionId, std::unique_ptr<MwSvssSession>, SessionIdHash>
-      mw_;
-  std::unordered_map<SessionId, std::unique_ptr<SvssSession>, SessionIdHash>
-      svss_;
+  // Present iff this node deals its coin rounds batched.
+  std::unique_ptr<BatchedSvssTransport> batch_;
+  // Flat tables (common/flat_map.hpp): session lookup is the per-delivery
+  // routing cost, so these sit on the hot path.  Sessions are never erased.
+  FlatMap<SessionId, std::unique_ptr<MwSvssSession>, SessionIdHash> mw_;
+  FlatMap<SessionId, std::unique_ptr<SvssSession>, SessionIdHash> svss_;
   std::unordered_map<std::uint32_t, std::unique_ptr<CoinSession>> coins_;
   std::unordered_map<std::uint32_t, std::unique_ptr<AbaSession>> abas_;
   std::unique_ptr<BenOrSession> benor_;

@@ -27,6 +27,11 @@ namespace {
 
 RunnerConfig validate(RunnerConfig cfg) {
   if (cfg.n <= 0) throw std::invalid_argument("Runner: n must be positive");
+  if (cfg.n > static_cast<int>(kMaxN)) {
+    // Session counters and the RB sender bitsets encode process ids in
+    // [0, kMaxN); larger systems need a wider id space first.
+    throw std::invalid_argument("Runner: n exceeds kMaxN");
+  }
   if (cfg.t < 0) throw std::invalid_argument("Runner: t must be >= 0");
   if (!cfg.allow_sub_resilience && cfg.n < 3 * cfg.t + 1) {
     throw std::invalid_argument(
@@ -59,7 +64,8 @@ Runner::Runner(RunnerConfig cfg)
       // Adversary slot: the strategy replaces the honest Node.  Its
       // outbound gate runs first; a ByzConfig wire interceptor for the
       // same slot composes on top of whatever the strategy emits.
-      AdversaryEnv env{i, cfg_.n, cfg_.t, slot_seed};
+      AdversaryEnv env{i, cfg_.n, cfg_.t, slot_seed,
+                       cfg_.batched_coin_dealing};
       std::unique_ptr<AdversarySlot> slot = ait->second(env);
       if (!slot) throw std::invalid_argument("Runner: null adversary slot");
       advs_[static_cast<std::size_t>(i)] = slot.get();
@@ -72,7 +78,8 @@ Runner::Runner(RunnerConfig cfg)
           });
       continue;
     }
-    auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t);
+    auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t,
+                                       cfg_.batched_coin_dealing);
     nodes_[static_cast<std::size_t>(i)] = node.get();
     engine_.set_process(i, std::move(node));
     if (wire) engine_.set_interceptor(i, std::move(wire));
@@ -124,12 +131,18 @@ std::vector<std::pair<int, int>> Runner::honest_shun_pairs() const {
 
 RunStatus Runner::run_until_honest(
     const std::function<bool(const Node&)>& pred) {
+  // The done() predicate runs after *every* delivery, so it must be cheap.
+  // All driver predicates are monotone (decided/has_output/share_complete
+  // never go back to false), so nodes already satisfied are dropped from
+  // the waiting list and the typical per-delivery cost is one predicate
+  // call — not an honest_ids() allocation plus a full scan.
+  std::vector<int> waiting = honest_ids();
   RunStatus status = engine_.run_until(
-      [this, &pred] {
-        for (int i : honest_ids()) {
-          if (!pred(node(i))) return false;
+      [this, &pred, &waiting] {
+        while (!waiting.empty() && pred(node(waiting.back()))) {
+          waiting.pop_back();
         }
-        return true;
+        return waiting.empty();
       },
       cfg_.max_deliveries);
   if (status == RunStatus::kDeliveryCap && cfg_.warn_on_cap) {

@@ -44,6 +44,11 @@ struct RunnerConfig {
   // Print a one-line warning to stderr when a run stops at the delivery
   // cap (the outcome is also surfaced in Metrics::capped either way).
   bool warn_on_cap = true;
+  // Deal the coin's n SVSS sessions per round over the shared batched
+  // transport (src/coin/batched_transport.hpp).  Off reverts to one
+  // message/RBC instance per session — same values, unbatched framing
+  // (tests/batch_equivalence_test pins the equivalence).
+  bool batched_coin_dealing = true;
 };
 
 // Canonical session ids for top-level invocations.

@@ -8,7 +8,7 @@ bool Dmm::filter(Context& ctx, int from, const Message& m, bool via_rb) {
   (void)ctx;
   if (discard_applies(from, m.sid)) return false;  // rule 4: discard
   if (is_blocked(from, m.sid)) {                   // rule 5: delay
-    delayed_[from].push_back(Delayed{from, via_rb, m});
+    at_sender(delayed_, from).push_back(Delayed{from, via_rb, m});
     return false;
   }
   return true;
@@ -24,11 +24,12 @@ bool Dmm::is_blocked(int from, const SessionId& sid) const {
   // with s ->_i sid.  Only completed sessions can precede anything, and
   // s ->_i sid iff completion_order(s) <= birth(sid) (or sid has not begun
   // locally), so the existential collapses to a minimum comparison.
-  auto it = blocking_orders_.find(from);
-  if (it == blocking_orders_.end() || it->second.empty()) return false;
+  if (static_cast<std::size_t>(from) >= blocking_orders_.size()) return false;
+  const auto& orders = blocking_orders_[static_cast<std::size_t>(from)];
+  if (orders.empty()) return false;
   auto born = birth_.find(sid);
   if (born == birth_.end()) return true;
-  return *it->second.begin() <= born->second;
+  return *orders.begin() <= born->second;
 }
 
 bool Dmm::precedes(const SessionId& s, const SessionId& s2) const {
@@ -52,37 +53,38 @@ void Dmm::note_complete(const SessionId& sid) {
   ++completions_;
   seen_recon_.erase(sid);
   // Sessions completing with expectations still open become blocking.
-  for (auto& [sender, sessions] : open_by_sender_) {
+  for (std::size_t sender = 0; sender < open_by_sender_.size(); ++sender) {
+    auto& sessions = open_by_sender_[sender];
     auto sit = sessions.find(sid);
     if (sit != sessions.end() && sit->second > 0) {
-      blocking_orders_[sender].insert(it->second);
+      at_sender(blocking_orders_, static_cast<int>(sender))
+          .insert(it->second);
     }
   }
 }
 
 void Dmm::note_expectation(int sender, const SessionId& sid) {
-  open_by_sender_[sender][sid]++;
+  at_sender(open_by_sender_, sender)[sid]++;
 }
 
 void Dmm::drop_expectation(Context& ctx, int sender, const SessionId& sid) {
-  auto it = open_by_sender_.find(sender);
-  if (it == open_by_sender_.end()) return;
-  auto sit = it->second.find(sid);
-  if (sit == it->second.end()) return;
+  if (static_cast<std::size_t>(sender) >= open_by_sender_.size()) return;
+  auto& sessions = open_by_sender_[static_cast<std::size_t>(sender)];
+  auto sit = sessions.find(sid);
+  if (sit == sessions.end()) return;
   if (--sit->second == 0) {
-    it->second.erase(sit);
+    sessions.erase(sit);
     // If the session had completed while this expectation was open, its
     // order is in the blocking index; retract it.
     if (auto done = completion_order_.find(sid);
         done != completion_order_.end()) {
-      auto bit = blocking_orders_.find(sender);
-      if (bit != blocking_orders_.end()) {
-        auto oit = bit->second.find(done->second);
-        if (oit != bit->second.end()) bit->second.erase(oit);
+      if (static_cast<std::size_t>(sender) < blocking_orders_.size()) {
+        auto& orders = blocking_orders_[static_cast<std::size_t>(sender)];
+        auto oit = orders.find(done->second);
+        if (oit != orders.end()) orders.erase(oit);
       }
     }
   }
-  if (it->second.empty()) open_by_sender_.erase(it);
   flush_delayed(ctx, sender);
 }
 
@@ -174,13 +176,14 @@ void Dmm::add_to_d(Context& ctx, int j, const SessionId& where) {
 }
 
 void Dmm::flush_delayed(Context& ctx, int sender) {
-  auto it = delayed_.find(sender);
-  if (it == delayed_.end()) return;
+  if (static_cast<std::size_t>(sender) >= delayed_.size()) return;
+  auto& buffered = delayed_[static_cast<std::size_t>(sender)];
+  if (buffered.empty()) return;
   // Re-test each buffered message; releasable ones are re-injected through
   // the owner's routing (which may re-enter this Dmm).
   std::vector<Delayed> keep;
   std::vector<Delayed> release;
-  for (auto& d : it->second) {
+  for (auto& d : buffered) {
     if (discard_applies(sender, d.msg.sid)) continue;  // rule 4: drop
     if (is_blocked(sender, d.msg.sid)) {
       keep.push_back(std::move(d));
@@ -188,21 +191,17 @@ void Dmm::flush_delayed(Context& ctx, int sender) {
       release.push_back(std::move(d));
     }
   }
-  if (keep.empty()) {
-    delayed_.erase(it);
-  } else {
-    it->second = std::move(keep);
-  }
+  buffered = std::move(keep);
   for (auto& d : release) {
     hooks_.redeliver(ctx, d.from, d.msg, d.via_rb);
   }
 }
 
 std::size_t Dmm::pending_expectations(int sender) const {
-  auto it = open_by_sender_.find(sender);
-  if (it == open_by_sender_.end()) return 0;
+  if (static_cast<std::size_t>(sender) >= open_by_sender_.size()) return 0;
   std::size_t total = 0;
-  for (const auto& [sid, count] : it->second) {
+  for (const auto& [sid, count] :
+       open_by_sender_[static_cast<std::size_t>(sender)]) {
     total += static_cast<std::size_t>(count);
   }
   return total;
@@ -225,7 +224,7 @@ std::vector<Dmm::OpenEntry> Dmm::blocking_entries() const {
 
 std::size_t Dmm::buffered_messages() const {
   std::size_t total = 0;
-  for (const auto& [sender, msgs] : delayed_) total += msgs.size();
+  for (const auto& msgs : delayed_) total += msgs.size();
   return total;
 }
 

@@ -125,10 +125,25 @@ class Dmm {
     SessionId sid;
     friend auto operator<=>(const AckKey&, const AckKey&) = default;
   };
+  struct AckKeyHash {
+    std::size_t operator()(const AckKey& k) const {
+      std::size_t h = SessionIdHash{}(k.sid);
+      h = h * 0x100000001B3ULL ^ static_cast<std::size_t>(k.sender + 1);
+      h = h * 0x100000001B3ULL ^ static_cast<std::size_t>(k.poly + 1);
+      return h;
+    }
+  };
   struct DealKey {
     int sender;
     SessionId sid;
     friend auto operator<=>(const DealKey&, const DealKey&) = default;
+    friend bool operator==(const DealKey&, const DealKey&) = default;
+  };
+  struct DealKeyHash {
+    std::size_t operator()(const DealKey& k) const {
+      return SessionIdHash{}(k.sid) * 0x100000001B3ULL ^
+             static_cast<std::size_t>(k.sender + 1);
+    }
   };
   struct Delayed {
     int from;
@@ -144,22 +159,36 @@ class Dmm {
   void drop_expectation(Context& ctx, int sender, const SessionId& sid);
   void flush_delayed(Context& ctx, int sender);
 
+  // Per-sender state lives in vectors indexed by process id, and
+  // session-keyed state in hash maps: DMM sits on the delivery hot path
+  // (every VSS message passes filter(), every recon broadcast passes rules
+  // 2-3), where ordered-map SessionId comparisons used to dominate.
+  template <typename T>
+  static T& at_sender(std::vector<T>& v, int sender) {
+    if (v.size() <= static_cast<std::size_t>(sender)) {
+      v.resize(static_cast<std::size_t>(sender) + 1);
+    }
+    return v[static_cast<std::size_t>(sender)];
+  }
+
   Hooks hooks_;
   std::set<int> d_;
   std::map<int, SessionId> anchor_;  // first detection session per suspect
   // Senders with live DEAL entries per session (step-8 bulk removal).
-  std::map<SessionId, std::set<int>> deal_senders_by_session_;
-  std::map<AckKey, Fp> ack_;
-  std::map<DealKey, Fp> deal_;
+  std::unordered_map<SessionId, std::set<int>, SessionIdHash>
+      deal_senders_by_session_;
+  std::unordered_map<AckKey, Fp, AckKeyHash> ack_;
+  std::unordered_map<DealKey, Fp, DealKeyHash> deal_;
   // Per-sender count of unresolved expectations per session, to make the
-  // blocking test cheap.
-  std::map<int, std::map<SessionId, int>> open_by_sender_;
+  // blocking test cheap.  Indexed by sender id (grown on demand).
+  std::vector<std::unordered_map<SessionId, int, SessionIdHash>>
+      open_by_sender_;
   // Completion orders of *completed* sessions that still hold unresolved
   // expectations, per sender.  The rule-5 test reduces to comparing the
   // minimum against the target session's birth — O(log) instead of a scan
   // over every open session (which dominates runtime at coin scale).
-  std::map<int, std::multiset<std::uint64_t>> blocking_orders_;
-  std::map<int, std::vector<Delayed>> delayed_;
+  std::vector<std::multiset<std::uint64_t>> blocking_orders_;
+  std::vector<std::vector<Delayed>> delayed_;
   // ->_i bookkeeping: completion_order is 1-based and increasing; birth is
   // the completion counter value when the session began locally.
   std::unordered_map<SessionId, std::uint64_t, SessionIdHash> completion_order_;
@@ -169,7 +198,9 @@ class Dmm {
   // (origin, poly) -> value.  Consulted when expectations are added late;
   // garbage-collected when the session completes locally (no expectations
   // are added past that point).
-  std::map<SessionId, std::map<std::pair<int, int>, Fp>> seen_recon_;
+  std::unordered_map<SessionId, std::map<std::pair<int, int>, Fp>,
+                     SessionIdHash>
+      seen_recon_;
 };
 
 }  // namespace svss

@@ -14,6 +14,8 @@ void Rbc::broadcast(Context& ctx, const Message& m) {
 void Rbc::on_transport(Context& ctx, int from, const Packet& p) {
   if (!p.is_rb) return;
   const BcastId& bid = p.bid;
+  // No instance is created while this handler runs (broadcast() never
+  // touches the table), so the reference stays valid across the sends.
   Instance& inst = instances_[bid];
   if (inst.accepted) return;
   const int n = ctx.n();
@@ -22,51 +24,52 @@ void Rbc::on_transport(Context& ctx, int from, const Packet& p) {
   switch (p.phase) {
     case RbPhase::kSend: {
       // WRB step 2: echo the dealer's type-1 message, once, only if it
-      // really came from the claimed origin.
+      // really came from the claimed origin.  Relaying reuses the shared
+      // payload: no copy per echo.
       if (from != bid.origin || inst.sent_echo) return;
       inst.sent_echo = true;
       ctx.send_all(make_rb(bid, RbPhase::kEcho, p.value));
       return;
     }
     case RbPhase::kEcho: {
-      auto& senders = inst.echoes[p.value];
-      if (!senders.insert(from).second) return;
+      ValueVotes& votes = inst.votes_for(p.rb_payload());
+      if (!votes.echoes.insert(from)) return;
       // WRB step 3: n-t matching echoes -> WRB-accept; RB step 2: send
       // ready for the WRB-accepted value.
-      if (static_cast<int>(senders.size()) >= n - t && !inst.sent_ready) {
+      if (votes.echoes.count() >= n - t && !inst.sent_ready) {
         inst.sent_ready = true;
-        inst.ready_value = p.value;
         ctx.send_all(make_rb(bid, RbPhase::kReady, p.value));
       }
       return;
     }
     case RbPhase::kReady: {
-      auto& senders = inst.readies[p.value];
-      if (!senders.insert(from).second) return;
+      ValueVotes& votes = inst.votes_for(p.rb_payload());
+      if (!votes.readies.insert(from)) return;
+      int readies = votes.readies.count();
       // RB step 3: t+1 readies amplify.
-      if (static_cast<int>(senders.size()) >= t + 1 && !inst.sent_ready) {
+      if (readies >= t + 1 && !inst.sent_ready) {
         inst.sent_ready = true;
-        inst.ready_value = p.value;
         ctx.send_all(make_rb(bid, RbPhase::kReady, p.value));
       }
       // RB step 4: n-t readies accept.
-      maybe_accept(ctx, bid, inst, p.value, senders.size());
+      maybe_accept(ctx, bid, inst, p.rb_payload(), readies);
       return;
     }
   }
 }
 
 void Rbc::maybe_accept(Context& ctx, const BcastId& bid, Instance& inst,
-                       const Bytes& value, std::size_t ready_count) {
-  if (inst.accepted || static_cast<int>(ready_count) < ctx.n() - ctx.t()) {
+                       const Bytes& value, int ready_count) {
+  if (inst.accepted || ready_count < ctx.n() - ctx.t()) {
     return;
   }
   inst.accepted = true;
-  // Free the per-value maps; the instance record stays as an accept marker.
-  inst.echoes.clear();
-  inst.readies.clear();
-
+  // Free the per-value tallies; the instance record stays as an accept
+  // marker.
   auto msg = Message::deserialize(value);
+  inst.votes.clear();
+  inst.votes.shrink_to_fit();
+
   // A Byzantine origin can get garbage accepted, or a message whose header
   // does not match the slot it was broadcast under.  All nonfaulty
   // processes parse the same bytes, so they all drop it consistently.

@@ -15,13 +15,20 @@
 // parsed and checked against the instance id, so a Byzantine origin cannot
 // smuggle a message for a different slot or session through its own
 // broadcast.
+//
+// Storage is sized for the coin's traffic profile: a full-stack agreement
+// run drives millions of transport packets through this state machine, so
+// instances live in a flat open-addressing table (one hash probe per
+// packet, no node allocations) and per-value sender sets are fixed-width
+// bitsets (process ids are bounded by kMaxN).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "sim/engine.hpp"
 #include "sim/message.hpp"
 
@@ -44,24 +51,64 @@ class Rbc {
   void on_transport(Context& ctx, int from, const Packet& p);
 
   // Number of instances this process has participated in (for tests).
-  [[nodiscard]] std::size_t instance_count() const { return instances_.size(); }
+  [[nodiscard]] std::size_t instance_count() const {
+    return instances_.size();
+  }
 
  private:
+  // Distinct senders of one value, as a fixed-width bitset (no per-sender
+  // allocation).  Width is derived from kMaxN — the same bound
+  // Runner::validate enforces — so widening the id space automatically
+  // widens the set.
+  struct SenderSet {
+    static constexpr std::size_t kWords = (kMaxN + 63) / 64;
+    std::uint64_t words[kWords] = {};
+
+    // Inserts sender `i`; false if already present (or out of range).
+    bool insert(int i) {
+      if (i < 0 || i >= static_cast<int>(kMaxN)) return false;
+      std::uint64_t& w = words[i >> 6];
+      std::uint64_t bit = 1ULL << (i & 63);
+      if ((w & bit) != 0) return false;
+      w |= bit;
+      return true;
+    }
+    [[nodiscard]] int count() const {
+      int total = 0;
+      for (std::uint64_t w : words) total += __builtin_popcountll(w);
+      return total;
+    }
+  };
+
+  // Echo/ready tallies for one distinct broadcast value.  Almost every
+  // instance sees exactly one value, so values live in a small vector
+  // scanned linearly.
+  struct ValueVotes {
+    Bytes value;
+    SenderSet echoes;
+    SenderSet readies;
+  };
+
   struct Instance {
     bool sent_echo = false;
     bool sent_ready = false;
     bool accepted = false;
-    Bytes ready_value;  // the value this process is backing, if sent_ready
-    // value -> distinct senders seen (std::map: Bytes has operator<)
-    std::map<Bytes, std::set<int>> echoes;
-    std::map<Bytes, std::set<int>> readies;
+    std::vector<ValueVotes> votes;
+
+    ValueVotes& votes_for(const Bytes& value) {
+      for (ValueVotes& v : votes) {
+        if (v.value == value) return v;
+      }
+      votes.push_back(ValueVotes{value, {}, {}});
+      return votes.back();
+    }
   };
 
   void maybe_accept(Context& ctx, const BcastId& bid, Instance& inst,
-                    const Bytes& value, std::size_t ready_count);
+                    const Bytes& value, int ready_count);
 
   DeliverFn deliver_;
-  std::unordered_map<BcastId, Instance, BcastIdHash> instances_;
+  FlatMap<BcastId, Instance, BcastIdHash> instances_;
 };
 
 }  // namespace svss

@@ -150,26 +150,42 @@ class Engine {
   friend class Context;
   void enqueue(int from, int to, Packet p);
   void deliver_one();
-  [[nodiscard]] bool idle() const { return live_.empty(); }
+  [[nodiscard]] bool idle() const { return in_flight_ == 0; }
 
+  // One in-flight packet, stored in a reusable arena slot.  `heap_pos`
+  // makes the priority queue *indexed*: a slot knows its position in
+  // heap_, so the age-cap path can remove it in O(log k) instead of
+  // leaving tombstones behind for lazy deletion.
   struct Pending {
-    std::uint64_t enqueue_step;
-    int from;
-    int to;
     Packet pkt;
-    std::uint64_t depth;
+    std::uint64_t seq = 0;
+    std::uint64_t priority = 0;
+    std::uint64_t enqueue_step = 0;
+    std::uint64_t depth = 0;
+    std::uint32_t heap_pos = kNoHeapPos;
+    std::int32_t from = -1;
+    std::int32_t to = -1;
+    bool live = false;
   };
-  // Heap entry: (priority, seq); min-heap, ties broken by send order.
+  static constexpr std::uint32_t kNoHeapPos = 0xFFFFFFFFu;
+
+  // Indexed min-heap over arena slots, ordered by (priority, seq).  The
+  // keys are replicated into the heap entries so sifting stays inside the
+  // heap array instead of chasing arena slots.
   struct HeapEntry {
     std::uint64_t priority;
     std::uint64_t seq;
+    std::uint32_t slot;
   };
-  struct HeapOrder {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
-    }
-  };
+  static bool heap_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+  void heap_place(std::uint32_t pos, const HeapEntry& e);
+  void heap_push(std::uint32_t slot);
+  void heap_sift_up(std::uint32_t pos);
+  void heap_sift_down(std::uint32_t pos);
+  void heap_remove(std::uint32_t slot);
 
   int n_;
   int t_;
@@ -177,13 +193,16 @@ class Engine {
   std::vector<std::unique_ptr<IProcess>> procs_;
   std::vector<Interceptor> interceptors_;
   std::vector<Rng> rngs_;
-  // live_ owns in-flight packets, keyed by send sequence number.  heap_
-  // orders them by scheduler priority; fifo_ by send order (for the age
-  // cap).  Both structures hold seq numbers and lazily skip entries that
-  // are no longer live.
-  std::unordered_map<std::uint64_t, Pending> live_;
+  // Arena of in-flight packets: slots are reused through free_slots_, so a
+  // long run allocates a bounded number of Pending records regardless of
+  // how many packets flow through.  heap_ orders live slots by scheduler
+  // priority; fifo_ records (slot, seq) in send order for the age cap
+  // (stale entries — slot delivered or reused — are skipped by seq check).
+  std::vector<Pending> arena_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;
-  std::deque<std::uint64_t> fifo_;
+  std::deque<std::pair<std::uint32_t, std::uint64_t>> fifo_;
+  std::size_t in_flight_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t max_lag_ = 1 << 20;

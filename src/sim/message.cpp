@@ -102,13 +102,52 @@ std::optional<Message> Message::deserialize(const Bytes& raw) {
   return m;
 }
 
+std::size_t Message::serialized_size() const {
+  // sid (18) + type (1) + a (4) + b (4) + three length-prefixed payloads.
+  return 18 + 1 + 4 + 4 + (4 + 4 * vals.size()) + (4 + 4 * ints.size()) +
+         (4 + blob.size());
+}
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kMwDealerShares: return "mw-dealer-shares";
+    case MsgType::kMwDealerPoly: return "mw-dealer-poly";
+    case MsgType::kMwDealerWhole: return "mw-dealer-whole";
+    case MsgType::kMwEchoVal: return "mw-echo-val";
+    case MsgType::kMwMonitorVal: return "mw-monitor-val";
+    case MsgType::kMwAck: return "mw-ack";
+    case MsgType::kMwLset: return "mw-lset";
+    case MsgType::kMwMset: return "mw-mset";
+    case MsgType::kMwOk: return "mw-ok";
+    case MsgType::kMwReconVal: return "mw-recon-val";
+    case MsgType::kSvssDealerShares: return "svss-dealer-shares";
+    case MsgType::kSvssGset: return "svss-gset";
+    case MsgType::kSvssBatchShares: return "svss-batch-shares";
+    case MsgType::kSvssBatchGset: return "svss-batch-gset";
+    case MsgType::kCoinGset: return "coin-gset";
+    case MsgType::kCoinStartRecon: return "coin-start-recon";
+    case MsgType::kAbaVote: return "aba-vote";
+    case MsgType::kAcsProposal: return "acs-proposal";
+    case MsgType::kSumPoint: return "sum-point";
+    case MsgType::kTestPayload: return "test-payload";
+  }
+  return "unknown";
+}
+
+const Bytes& Packet::rb_payload() const {
+  static const Bytes kEmpty;
+  return value ? *value : kEmpty;
+}
+
 std::size_t Packet::wire_size() const {
-  // Envelope overhead (routing headers) + payload bytes.
+  // Envelope overhead (routing headers) + payload bytes.  The direct-path
+  // payload size is computed arithmetically: serializing just to count
+  // bytes used to dominate the per-enqueue cost.
   constexpr std::size_t kEnvelope = 8;
   if (is_rb) {
-    return kEnvelope + 16 /* bid */ + 1 /* phase */ + value.size();
+    return kEnvelope + 16 /* bid */ + 1 /* phase */ + rb_payload().size();
   }
-  return kEnvelope + app.serialize().size();
+  return kEnvelope + app.serialized_size();
 }
 
 Packet make_direct(Message m) {
@@ -119,6 +158,12 @@ Packet make_direct(Message m) {
 }
 
 Packet make_rb(BcastId bid, RbPhase phase, Bytes value) {
+  return make_rb(bid, phase,
+                 std::make_shared<const Bytes>(std::move(value)));
+}
+
+Packet make_rb(BcastId bid, RbPhase phase,
+               std::shared_ptr<const Bytes> value) {
   Packet p;
   p.is_rb = true;
   p.bid = bid;

@@ -11,6 +11,7 @@
 #include <compare>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,6 +74,9 @@ enum class MsgType : std::uint8_t {
   // --- SVSS (Section 4) ---
   kSvssDealerShares = 20,  // dealer -> j: g_j, h_j points         (direct)
   kSvssGset = 21,          // dealer: G and {G_j}                  (RB)
+  // --- batched coin-round SVSS transport (src/coin/batched_transport) ---
+  kSvssBatchShares = 22,   // dealer -> j: all n sessions' g/h pts (direct)
+  kSvssBatchGset = 23,     // dealer: all n sessions' G-set blobs  (RB)
   // --- Common coin (Section 5) ---
   kCoinGset = 30,       // i: set of n-t dealers whose shares done (RB)
   kCoinStartRecon = 31, // i: entering reconstruction, support set (RB)
@@ -99,8 +103,16 @@ struct Message {
   [[nodiscard]] Bytes serialize() const;
   static std::optional<Message> deserialize(const Bytes& raw);
 
+  // Exact size of serialize()'s output, computed without allocating.  The
+  // engine meters every enqueued packet, so this must stay in sync with
+  // serialize() (serialization_test pins the equality).
+  [[nodiscard]] std::size_t serialized_size() const;
+
   friend bool operator==(const Message&, const Message&) = default;
 };
+
+// Human-readable MsgType name (metrics attribution, logs).
+[[nodiscard]] const char* msg_type_name(MsgType type);
 
 // Identity of one reliable-broadcast instance: who originated it and which
 // logical slot of which session it fills.  Every process must derive the
@@ -126,13 +138,22 @@ struct Packet {
   Message app;     // valid when !is_rb
   BcastId bid;     // valid when is_rb
   RbPhase phase = RbPhase::kSend;
-  Bytes value;     // RB value payload (a serialized Message)
+  // RB value payload (a serialized Message).  Shared among the n
+  // per-recipient copies of one send_all burst — an RB step used to copy
+  // its payload n+1 times, which dominated allocation traffic.  Mutating
+  // interceptors replace the pointer on their recipient's copy
+  // (copy-on-write), so recipients still get independent views.
+  std::shared_ptr<const Bytes> value;
 
+  // The RB payload bytes (empty if unset).
+  [[nodiscard]] const Bytes& rb_payload() const;
   [[nodiscard]] std::size_t wire_size() const;
 };
 
 Packet make_direct(Message m);
 Packet make_rb(BcastId bid, RbPhase phase, Bytes value);
+// Relay form: re-broadcasts an already-shared payload without copying it.
+Packet make_rb(BcastId bid, RbPhase phase, std::shared_ptr<const Bytes> value);
 
 struct SessionIdHash {
   std::size_t operator()(const SessionId& s) const;

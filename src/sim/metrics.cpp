@@ -1,5 +1,8 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace svss {
 
 std::string Metrics::summary() const {
@@ -9,6 +12,25 @@ std::string Metrics::summary() const {
                   std::to_string(max_depth) + ")";
   if (capped) {
     s += " [CAPPED at " + std::to_string(deliveries_at_cap) + " deliveries]";
+  }
+  // Where the serialization bytes go: the top message types by volume.
+  std::vector<std::size_t> slots;
+  for (std::size_t i = 0; i < kTypeSlots; ++i) {
+    if (bytes_by_type[i] > 0) slots.push_back(i);
+  }
+  std::sort(slots.begin(), slots.end(), [this](std::size_t a, std::size_t b) {
+    return bytes_by_type[a] > bytes_by_type[b];
+  });
+  if (!slots.empty()) {
+    s += " [bytes by type:";
+    std::size_t shown = 0;
+    for (std::size_t i : slots) {
+      if (shown++ == 5) break;
+      s += std::string(" ") + msg_type_name(static_cast<MsgType>(i)) + "=" +
+           std::to_string(bytes_by_type[i]) + "/" +
+           std::to_string(packets_by_type[i]) + "pkt";
+    }
+    s += "]";
   }
   return s;
 }

@@ -7,8 +7,11 @@
 // delivery its sender had processed when it sent the packet.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+
+#include "sim/message.hpp"
 
 namespace svss {
 
@@ -26,6 +29,24 @@ struct Metrics {
   bool capped = false;
   std::uint64_t deliveries_at_cap = 0;
 
+  // Per-message-type attribution of serialization cost: every packet the
+  // engine meters is binned by the application MsgType it carries (RB
+  // transport packets count under the slot they broadcast).  `bytes_sent`
+  // is exactly what Message::serialize produces, so these counters say
+  // where serialize time goes at scale (ROADMAP: n = 64 sweeps are
+  // serialization-bound).  Indexed by the MsgType enum value.
+  static constexpr std::size_t kTypeSlots = 64;
+  std::array<std::uint64_t, kTypeSlots> packets_by_type{};
+  std::array<std::uint64_t, kTypeSlots> bytes_by_type{};
+
+  void note_type(MsgType type, std::size_t bytes) {
+    auto slot = static_cast<std::size_t>(type);
+    if (slot < kTypeSlots) {
+      packets_by_type[slot]++;
+      bytes_by_type[slot] += bytes;
+    }
+  }
+
   void merge(const Metrics& o) {
     packets_sent += o.packets_sent;
     bytes_sent += o.bytes_sent;
@@ -36,6 +57,10 @@ struct Metrics {
     capped = capped || o.capped;
     if (o.deliveries_at_cap > deliveries_at_cap) {
       deliveries_at_cap = o.deliveries_at_cap;
+    }
+    for (std::size_t i = 0; i < kTypeSlots; ++i) {
+      packets_by_type[i] += o.packets_by_type[i];
+      bytes_by_type[i] += o.bytes_by_type[i];
     }
   }
 

@@ -40,16 +40,16 @@ void SvssSession::deal(Context& ctx, Fp secret) {
   if (dealt_ || self_ != dealer()) return;
   dealt_ = true;
   f_ = BivariatePolynomial::random_with_secret(secret, t_, ctx.rng());
+  FieldVec scratch;
   for (int j = 0; j < n_; ++j) {
     // g_j(1..t+1) then h_j(1..t+1): enough to reconstruct both slices.
+    // Evaluated in one pass over the coefficient grid (no per-recipient
+    // polynomial allocations — the coin deals n of these per process per
+    // round).
     Message m;
     m.sid = sid_;
     m.type = MsgType::kSvssDealerShares;
-    FieldVec gp = f_.row(j + 1).evaluate_range(t_ + 1);
-    FieldVec hp = f_.column(j + 1).evaluate_range(t_ + 1);
-    m.vals.reserve(gp.size() + hp.size());
-    m.vals.insert(m.vals.end(), gp.begin(), gp.end());
-    m.vals.insert(m.vals.end(), hp.begin(), hp.end());
+    f_.append_share_points(j + 1, t_ + 1, m.vals, scratch);
     host_.send_direct(ctx, j, std::move(m));
   }
 }

@@ -137,5 +137,27 @@ TEST_P(BivariateDegreeSweep, GridRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Degrees, BivariateDegreeSweep,
                          ::testing::Values(0, 1, 2, 3, 4, 6));
 
+// The one-pass share-vector evaluation used by the (batched) dealer must
+// agree value-for-value with the slice polynomials it replaces.
+TEST(Bivariate, AppendSharePointsMatchesSlices) {
+  for (int deg : {0, 1, 2, 5}) {
+    Rng rng(90 + static_cast<std::uint64_t>(deg));
+    auto f =
+        BivariatePolynomial::random_with_secret(rng.next_field(), deg, rng);
+    FieldVec scratch;
+    for (int j = 1; j <= 7; ++j) {
+      FieldVec out;
+      f.append_share_points(j, deg + 1, out, scratch);
+      FieldVec gp = f.row(j).evaluate_range(deg + 1);
+      FieldVec hp = f.column(j).evaluate_range(deg + 1);
+      ASSERT_EQ(out.size(), gp.size() + hp.size());
+      for (std::size_t k = 0; k < gp.size(); ++k) EXPECT_EQ(out[k], gp[k]);
+      for (std::size_t k = 0; k < hp.size(); ++k) {
+        EXPECT_EQ(out[gp.size() + k], hp[k]);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace svss

@@ -73,7 +73,7 @@ TEST(Byzantine, EquivocateRewritesOwnRbSends) {
       make_byzantine_interceptor(ByzConfig{ByzKind::kEquivocate}, 4, 1, 1);
   Packet p = own_rb_send(0, MsgType::kMwAck, {Fp(5)});
   ASSERT_TRUE(f(0, 3, p));
-  auto m = Message::deserialize(p.value);
+  auto m = Message::deserialize(p.rb_payload());
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->vals[0], Fp(6));
 }
@@ -88,9 +88,9 @@ TEST(Byzantine, EquivocateLeavesRelayedRbAlone) {
   BcastId bid;
   bid.origin = 2;  // origin != sender 0
   Packet p = make_rb(bid, RbPhase::kEcho, m.serialize());
-  Bytes before = p.value;
+  Bytes before = p.rb_payload();
   ASSERT_TRUE(f(0, 3, p));
-  EXPECT_EQ(p.value, before);
+  EXPECT_EQ(p.rb_payload(), before);
 }
 
 TEST(Byzantine, WrongReconOnlyTouchesReconVals) {
@@ -100,8 +100,8 @@ TEST(Byzantine, WrongReconOnlyTouchesReconVals) {
   Packet ack = own_rb_send(2, MsgType::kMwAck, {Fp(50)});
   ASSERT_TRUE(f(2, 0, recon));
   ASSERT_TRUE(f(2, 0, ack));
-  EXPECT_EQ(Message::deserialize(recon.value)->vals[0], Fp(51));
-  EXPECT_EQ(Message::deserialize(ack.value)->vals[0], Fp(50));
+  EXPECT_EQ(Message::deserialize(recon.rb_payload())->vals[0], Fp(51));
+  EXPECT_EQ(Message::deserialize(ack.rb_payload())->vals[0], Fp(50));
 }
 
 TEST(Byzantine, LyingModeratorCorruptsMonitorValsAndMset) {
@@ -121,7 +121,7 @@ TEST(Byzantine, LyingModeratorCorruptsMonitorValsAndMset) {
   bid.slot = mset.type;
   Packet p = make_rb(bid, RbPhase::kSend, mset.serialize());
   ASSERT_TRUE(f(1, 0, p));
-  auto out = Message::deserialize(p.value);
+  auto out = Message::deserialize(p.rb_payload());
   ASSERT_TRUE(out.has_value());
   EXPECT_NE(out->ints, (std::vector<int>{0, 2, 3}));
 }

@@ -142,6 +142,29 @@ TEST(Packet, WireSizeCountsPayload) {
   EXPECT_GT(large.wire_size(), small.wire_size() + 390);
 }
 
+// The engine meters bytes through serialized_size() without serializing;
+// it must stay byte-exact against the real encoder for every payload
+// shape.
+TEST(Message, SerializedSizeMatchesSerialize) {
+  Message shapes[4];
+  shapes[0].sid = sample_sid();
+  shapes[1].vals.assign(7, Fp(42));
+  shapes[2].ints = {1, 2, 3};
+  shapes[3].vals.assign(2, Fp(5));
+  shapes[3].ints = {9};
+  shapes[3].blob = Bytes{0xAA, 0xBB, 0xCC};
+  for (const Message& m : shapes) {
+    EXPECT_EQ(m.serialized_size(), m.serialize().size());
+  }
+}
+
+TEST(Message, TypeNamesCoverProtocolTypes) {
+  EXPECT_STREQ(msg_type_name(MsgType::kSvssBatchShares),
+               "svss-batch-shares");
+  EXPECT_STREQ(msg_type_name(MsgType::kSvssBatchGset), "svss-batch-gset");
+  EXPECT_STREQ(msg_type_name(MsgType::kAbaVote), "aba-vote");
+}
+
 TEST(SessionId, StrIsHumanReadable) {
   EXPECT_NE(sample_sid().str().find("mw/svss/coin"), std::string::npos);
 }

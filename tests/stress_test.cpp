@@ -5,6 +5,8 @@
 // n = 7, which is too slow for the default suite.
 #include <gtest/gtest.h>
 
+#include <iostream>
+
 #include "sweep_common.hpp"
 
 namespace svss {
@@ -56,6 +58,51 @@ TEST(Stress, Aba31WithCoordinatedCabalCrash) {
   EXPECT_FALSE(res.metrics.capped);
   EXPECT_GT(r.adversary(21)->stats().withheld, 0u);
   EXPECT_GT(r.adversary(30)->stats().withheld, 0u);
+}
+
+// n = 64, t = 21: the scale target ROADMAP's serialization question needs.
+// Ideal-coin skeleton (the full stack at this size is out of reach by
+// design); the metrics summary records where Message::serialize bytes go
+// per message type, which is the profile the batching of larger payloads
+// would have to beat.
+TEST(Stress, Aba64HonestAgreement) {
+  RunnerConfig cfg;
+  cfg.n = 64;
+  cfg.t = 21;
+  cfg.seed = 6401;
+  cfg.max_deliveries = 2'000'000'000;
+  Runner r(cfg);
+  auto res = r.run_aba(mixed_inputs(64), CoinMode::kIdealCommon);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_FALSE(res.metrics.capped);
+  // Attribution must be complete: every metered byte is binned by type
+  // (note_type records full wire bytes, envelope included).
+  std::uint64_t by_type = 0;
+  for (std::uint64_t b : res.metrics.bytes_by_type) by_type += b;
+  EXPECT_EQ(by_type, res.metrics.bytes_sent);
+  // The per-type breakdown is the artifact this lane exists to record.
+  std::cout << "n=64 honest agreement: " << res.metrics.summary() << "\n";
+}
+
+// Full SVSS-coin termination sweep at n = 10 (t = 3 strategy-driven
+// faults): the coverage ROADMAP said only batching would make affordable.
+// Two representative strategies (one VSS-targeted, one coordinated) under
+// the benign and the fair-random schedule.
+TEST(Stress, FullStackSweepN10) {
+  sweep::SweepSpec spec;
+  spec.ns = {10};
+  spec.full_stack_max_n = 10;  // force CoinMode::kSvss
+  spec.strategies = {adversary::StrategyKind::kWithholdingModerator,
+                     adversary::StrategyKind::kColludingCabal};
+  spec.schedulers = {SchedulerKind::kFifo, SchedulerKind::kRandom};
+  spec.seeds = {64};
+  spec.max_deliveries = 500'000'000;
+  auto report = sweep::run_aba_termination_sweep(spec);
+  EXPECT_EQ(report.safety_violations, 0) << report.to_json();
+  EXPECT_EQ(report.capped_runs, 0) << report.to_json();
+  EXPECT_EQ(report.undecided_runs, 0) << report.to_json();
+  sweep::maybe_write_report(report, "stress-full-stack-n10");
 }
 
 // Full SVSS-coin termination sweep at n = 7 (t = 2 strategy-driven

@@ -56,6 +56,25 @@ TEST(TerminationSweep, FullStackSmall) {
   sweep::maybe_write_report(report, "full-stack-n4");
 }
 
+// n = 7 with the *full* SVSS-coin stack — the tier-1 case the batched
+// transport pays for (pre-batching this size lived in the stress lane
+// only).  One FIFO cell per strategy: t = 2 strategy-driven faults over
+// ~3.4M deliveries each; the random-schedule grid at this size stays in
+// the stress lane (stress_test.cpp runs it at n = 7 and n = 10).
+TEST(TerminationSweep, FullStackMediumN7) {
+  SweepSpec spec;
+  spec.ns = {7};
+  spec.full_stack_max_n = 7;  // the real SCC, not the ideal-coin stand-in
+  spec.strategies = all_strategies();
+  spec.schedulers = {SchedulerKind::kFifo};
+  spec.seeds = {60};
+  spec.max_deliveries = 100'000'000;
+  auto report = sweep::run_aba_termination_sweep(spec);
+  ASSERT_EQ(report.total(), 4);
+  expect_clean(report);
+  sweep::maybe_write_report(report, "full-stack-n7-fifo");
+}
+
 // n = 7: t = 2 strategy-driven faults, ideal-coin abstraction (bench_aba's
 // E6 convention: the SCC is exercised at small n, the agreement skeleton
 // at scale).  VSS-targeting strategies degrade to honest behaviour here —
