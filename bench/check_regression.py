@@ -22,9 +22,20 @@ GATED_COUNTERS = ("msgs", "bytes", "rounds")
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
-    return {b["name"]: b for b in data.get("benchmarks", [])}
+    # A gate that cannot find its baseline must fail loudly: a typo'd
+    # filename silently "passing" is indistinguishable from a green gate.
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"check_regression: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_regression: {path} is not valid JSON: {e}")
+    benches = {b["name"]: b for b in data.get("benchmarks", [])}
+    if not benches:
+        sys.exit(f"check_regression: {path} contains no benchmarks "
+                 "(wrong file, or a bench run that produced nothing)")
+    return benches
 
 
 def main():

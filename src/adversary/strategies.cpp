@@ -40,7 +40,8 @@ class SplitBrainStrategy : public IStrategy {
  public:
   explicit SplitBrainStrategy(const AdversaryEnv& env) : IStrategy(env) {
     for (auto& b : branch_) {
-      b = std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin);
+      b = std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin,
+                                     env.batched_mw);
     }
   }
 
@@ -160,7 +161,8 @@ class AdaptiveShunAware final : public IStrategy {
  public:
   explicit AdaptiveShunAware(const AdversaryEnv& env)
       : IStrategy(env),
-        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin)) {}
+        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin,
+                                     env.batched_mw)) {}
 
   [[nodiscard]] const char* strategy_name() const override {
     return adversary::strategy_name(StrategyKind::kAdaptiveShunAware);
@@ -183,7 +185,12 @@ class AdaptiveShunAware final : public IStrategy {
       mutate_outbound_message(
           p, env_.self,
           [&](Message& m) {
-            if (m.type == MsgType::kMwReconVal && !m.vals.empty()) {
+            // The deviation DMM rules 2-3 catch, on either framing: a
+            // group envelope carries its recon values in vals, so
+            // corrupting the first entry corrupts one per-session value.
+            if ((m.type == MsgType::kMwReconVal ||
+                 m.type == MsgType::kMwBatchReconVal) &&
+                !m.vals.empty()) {
               m.vals[0] += Fp(1);
               touched = true;
             }
@@ -221,7 +228,8 @@ class WithholdingModerator final : public IStrategy {
  public:
   explicit WithholdingModerator(const AdversaryEnv& env)
       : IStrategy(env),
-        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin)) {}
+        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin,
+                                     env.batched_mw)) {}
 
   [[nodiscard]] const char* strategy_name() const override {
     return adversary::strategy_name(StrategyKind::kWithholdingModerator);
@@ -238,9 +246,15 @@ class WithholdingModerator final : public IStrategy {
   }
 
   bool on_outbound(int /*to*/, Packet& p) override {
+    // Both framings: the per-session broadcast and the group envelope
+    // (kMwBatchMset coalesces only M-sets, so dropping it whole is the
+    // same per-session deviation).
+    auto is_mset = [](MsgType type) {
+      return type == MsgType::kMwMset || type == MsgType::kMwBatchMset;
+    };
     bool withhold =
-        p.is_rb ? p.bid.origin == env_.self && p.bid.slot == MsgType::kMwMset
-                : p.app.type == MsgType::kMwMset;
+        p.is_rb ? p.bid.origin == env_.self && is_mset(p.bid.slot)
+                : is_mset(p.app.type);
     if (withhold) {
       ++stats_.withheld;
       return false;
@@ -278,7 +292,8 @@ class ColludingCabal final : public IStrategy {
   ColludingCabal(const AdversaryEnv& env, std::shared_ptr<CabalView> view)
       : IStrategy(env),
         view_(std::move(view)),
-        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin)) {}
+        node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin,
+                                     env.batched_mw)) {}
 
   [[nodiscard]] const char* strategy_name() const override {
     return adversary::strategy_name(StrategyKind::kColludingCabal);

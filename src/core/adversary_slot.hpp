@@ -24,9 +24,11 @@ struct AdversaryEnv {
   int n = 0;
   int t = 0;
   std::uint64_t seed = 0;  // per-slot reproducibility seed
-  // Run-wide coin-dealing framing; strategies hosting honest-code Nodes
-  // pass it through so un/batched runs stay comparable end to end.
+  // Run-wide wire framing (coin dealing batches, MW group coalescing);
+  // strategies hosting honest-code Nodes pass both through so un/batched
+  // runs stay comparable end to end.
   bool batched_coin = true;
+  bool batched_mw = true;
 };
 
 // Observable side effects of a strategy, for non-vacuity assertions: a test

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "mwsvss/group_transport.hpp"
 #include "sim/message.hpp"
 
 namespace svss {
@@ -76,7 +77,13 @@ Engine::Interceptor make_byzantine_interceptor(const ByzConfig& cfg, int n,
         mutate_packet(
             p, from,
             [](Message& m) {
-              if (m.type == MsgType::kMwReconVal) perturb_vals(m, Fp(1));
+              // Group envelopes keep recon values in vals, so perturbing
+              // them corrupts every coalesced per-session broadcast —
+              // the same deviation as perturbing each one individually.
+              if (m.type == MsgType::kMwReconVal ||
+                  m.type == MsgType::kMwBatchReconVal) {
+                perturb_vals(m, Fp(1));
+              }
             },
             /*mutate_relays=*/false);
         return true;
@@ -89,10 +96,27 @@ Engine::Interceptor make_byzantine_interceptor(const ByzConfig& cfg, int n,
             p, from,
             [](Message& m) {
               if (m.type == MsgType::kMwMonitorVal) perturb_vals(m, Fp(1));
+              // Same lie on the coalesced framing: perturb exactly the
+              // monitor values inside a direct envelope (the transport
+              // owns the layout walk).
+              MwGroupTransport::for_each_direct_entry(
+                  m, [&m](MsgType sub, int, std::size_t val_offset, int) {
+                    if (sub == MsgType::kMwMonitorVal &&
+                        val_offset < m.vals.size()) {
+                      m.vals[val_offset] += Fp(1);
+                    }
+                  });
               if (m.type == MsgType::kMwMset && !m.ints.empty()) {
                 // Rotate the accepted-monitor set by one: a plausible but
                 // wrong commitment.
                 m.ints[0] = (m.ints[0] + 1) % 2;
+              }
+              if (m.type == MsgType::kMwBatchMset) {
+                // The first member of the first coalesced run — the same
+                // rotated commitment.
+                if (int* member = MwGroupTransport::first_run_member(m)) {
+                  *member = (*member + 1) % 2;
+                }
               }
             },
             /*mutate_relays=*/false);

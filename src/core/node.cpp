@@ -2,7 +2,7 @@
 
 namespace svss {
 
-Node::Node(int self, int n, int t, bool batched_coin)
+Node::Node(int self, int n, int t, bool batched_coin, bool batched_mw)
     : self_(self), n_(n), t_(t),
       rbc_([this](Context& ctx, int origin, const Message& m) {
         // Accepted broadcasts re-enter routing with the origin as sender;
@@ -19,18 +19,46 @@ Node::Node(int self, int n, int t, bool batched_coin)
   if (batched_coin) {
     batch_ = std::make_unique<BatchedSvssTransport>(self, n, t);
   }
+  if (batched_mw) {
+    mw_batch_ = std::make_unique<MwGroupTransport>(self, n, t);
+  }
+}
+
+// The MW capture window brackets whole delivery cascades: everything a
+// delivery (or the start action) makes the sessions emit is coalesced and
+// flushed before control returns to the engine, so batching is pure
+// framing — no message ever survives a cascade uncaptured or unsent.
+bool Node::open_mw_window() {
+  if (!mw_batch_ || mw_batch_->window_open()) return false;
+  mw_batch_->open_window();
+  return true;
+}
+
+void Node::close_mw_window(Context& ctx) {
+  if (mw_batch_->close_window_if_empty()) return;
+  mw_batch_->close_window(
+      ctx, MwGroupTransport::EmitFns{
+               [this](Context& c, const Message& m) { rbc_.broadcast(c, m); },
+               [](Context& c, int to, Message m) {
+                 c.send(to, make_direct(std::move(m)));
+               },
+           });
 }
 
 void Node::start(Context& ctx) {
+  const bool windowed = open_mw_window();
   if (start_action_) start_action_(ctx, *this);
+  if (windowed) close_mw_window(ctx);
 }
 
 void Node::on_packet(Context& ctx, int from, const Packet& p) {
+  const bool windowed = open_mw_window();
   if (p.is_rb) {
     rbc_.on_transport(ctx, from, p);
-    return;
+  } else {
+    route_app(ctx, from, p.app, /*via_rb=*/false);
   }
-  route_app(ctx, from, p.app, /*via_rb=*/false);
+  if (windowed) close_mw_window(ctx);
 }
 
 bool Node::sane_sid(const SessionId& sid) const {
@@ -40,10 +68,15 @@ bool Node::sane_sid(const SessionId& sid) const {
       return pid_ok(sid.owner) && pid_ok(sid.moderator) &&
              sid.owner != sid.moderator;
     case SessionPath::kMwInSvssTop:
-    case SessionPath::kMwInSvssCoin:
       return pid_ok(sid.owner) && pid_ok(sid.moderator) &&
              pid_ok(sid.svss_dealer) && sid.owner != sid.moderator &&
              sid.variant <= 1;
+    case SessionPath::kMwInSvssCoin:
+      // Variants 2-3 are the group-envelope sid space (variant - 2 encodes
+      // the children's variant); only kMwBatch* messages may use them.
+      return pid_ok(sid.owner) && pid_ok(sid.moderator) &&
+             pid_ok(sid.svss_dealer) && sid.owner != sid.moderator &&
+             sid.variant <= 3;
     case SessionPath::kSvssTop:
     case SessionPath::kSvssCoin:
       return pid_ok(sid.owner);
@@ -62,19 +95,22 @@ void Node::route_app(Context& ctx, int sender, const Message& m,
     case SessionPath::kMwTop:
     case SessionPath::kMwInSvssTop:
     case SessionPath::kMwInSvssCoin: {
-      if (!dmm_.filter(ctx, sender, m, via_rb)) return;
-      if (via_rb && m.type == MsgType::kMwReconVal && m.vals.size() == 1 &&
-          m.a >= 0 && m.a < n_) {
-        // DMM rules 2-3: resolve or violate reconstruction expectations
-        // before the session acts on the value.
-        if (!dmm_.on_recon_value(ctx, sender, m.sid, m.a, m.vals[0])) return;
+      if (MwGroupTransport::is_batch_type(m.type)) {
+        // Group envelope: split into the per-session messages and run each
+        // through the normal per-session path (DMM filter and recon rules
+        // included).  Understood unconditionally, so batched and unbatched
+        // peers interoperate.
+        MwGroupTransport::unpack(
+            ctx, n_, t_, sender, m, via_rb,
+            [this](Context& c, int s, const Message& sub, bool rb) {
+              deliver_mw(c, s, sub, rb);
+            });
+        return;
       }
-      MwSvssSession& s = mw(ctx, m.sid);
-      if (via_rb) {
-        s.on_broadcast(ctx, sender, m);
-      } else {
-        s.on_direct(ctx, sender, m);
-      }
+      // Envelope sid space carrying a non-envelope type: no session lives
+      // at variants 2-3.
+      if (m.sid.variant > 1) return;
+      deliver_mw(ctx, sender, m, via_rb);
       return;
     }
     case SessionPath::kSvssTop:
@@ -136,6 +172,23 @@ void Node::route_app(Context& ctx, int sender, const Message& m,
     }
     case SessionPath::kTest:
       return;
+  }
+}
+
+void Node::deliver_mw(Context& ctx, int sender, const Message& m,
+                      bool via_rb) {
+  if (!dmm_.filter(ctx, sender, m, via_rb)) return;
+  if (via_rb && m.type == MsgType::kMwReconVal && m.vals.size() == 1 &&
+      m.a >= 0 && m.a < n_) {
+    // DMM rules 2-3: resolve or violate reconstruction expectations
+    // before the session acts on the value.
+    if (!dmm_.on_recon_value(ctx, sender, m.sid, m.a, m.vals[0])) return;
+  }
+  MwSvssSession& s = mw(ctx, m.sid);
+  if (via_rb) {
+    s.on_broadcast(ctx, sender, m);
+  } else {
+    s.on_direct(ctx, sender, m);
   }
 }
 
@@ -316,6 +369,12 @@ const CoinSession* Node::find_coin(std::uint32_t round) const {
 // Host plumbing
 // ---------------------------------------------------------------------
 void Node::rb_broadcast(Context& ctx, const Message& m) {
+  if (mw_batch_ && mw_batch_->window_open() &&
+      mw_batch_->capture_broadcast(m)) {
+    // Coalesced into the group's kMwBatch* envelope; flushed when the
+    // current delivery cascade's window closes.
+    return;
+  }
   if (batch_ && m.type == MsgType::kSvssGset &&
       m.sid.path == SessionPath::kSvssCoin && m.sid.owner == self_) {
     // Batch the n sibling sessions' G-sets into one RBC instance: the
@@ -330,6 +389,10 @@ void Node::rb_broadcast(Context& ctx, const Message& m) {
 }
 
 void Node::send_direct(Context& ctx, int to, Message m) {
+  if (mw_batch_ && mw_batch_->window_open() &&
+      mw_batch_->capture_direct(to, m)) {
+    return;
+  }
   if (batch_ && batch_->capture_dealer_shares(to, m)) return;
   ctx.send(to, make_direct(std::move(m)));
 }

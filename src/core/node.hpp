@@ -31,6 +31,7 @@
 #include "coin/batched_transport.hpp"
 #include "coin/coin.hpp"
 #include "dmm/dmm.hpp"
+#include "mwsvss/group_transport.hpp"
 #include "mwsvss/mwsvss.hpp"
 #include "rbc/rbc.hpp"
 #include "sim/engine.hpp"
@@ -61,10 +62,13 @@ class Node : public IProcess,
              public MvbaHost {
  public:
   // `batched_coin` multiplexes the n coin-owned SVSS sessions per round
-  // over the shared transport envelopes (src/coin/batched_transport.hpp).
-  // Inbound envelopes are always understood, so batched and unbatched
-  // nodes interoperate; the flag only selects this node's dealing framing.
-  Node(int self, int n, int t, bool batched_coin = true);
+  // over the shared transport envelopes (src/coin/batched_transport.hpp);
+  // `batched_mw` coalesces the coin-nested MW-SVSS child traffic under
+  // group envelopes (src/mwsvss/group_transport.hpp).  Inbound envelopes
+  // are always understood, so batched and unbatched nodes interoperate;
+  // the flags only select this node's *own* outbound framing.
+  Node(int self, int n, int t, bool batched_coin = true,
+       bool batched_mw = true);
 
   // Invoked once by the engine before any delivery; used by runners to
   // kick off deals / agreement inputs.
@@ -148,6 +152,16 @@ class Node : public IProcess,
   // DMM-filtered per-session delivery for the SVSS layers (both the direct
   // path and the sub-messages of unpacked batch envelopes).
   void deliver_svss(Context& ctx, int sender, const Message& m, bool via_rb);
+  // Same for the MW layer: DMM filter, recon-expectation rules 2-3, then
+  // the per-session state machine.  Sub-messages of unpacked kMwBatch*
+  // envelopes take exactly this path, so batching never skips a rule.
+  void deliver_mw(Context& ctx, int sender, const Message& m, bool via_rb);
+  // Bracket one delivery cascade with the MW group-capture window (plain
+  // open/close calls, not a callable wrapper — this is the per-delivery
+  // hot path).  open returns true iff this call opened the window, i.e.
+  // the caller owns the matching close.
+  bool open_mw_window();
+  void close_mw_window(Context& ctx);
   AbaSession& aba_instance(std::uint32_t instance);
   [[nodiscard]] bool sane_sid(const SessionId& sid) const;
 
@@ -158,6 +172,8 @@ class Node : public IProcess,
   Dmm dmm_;
   // Present iff this node deals its coin rounds batched.
   std::unique_ptr<BatchedSvssTransport> batch_;
+  // Present iff this node coalesces its coin-nested MW child traffic.
+  std::unique_ptr<MwGroupTransport> mw_batch_;
   // Flat tables (common/flat_map.hpp): session lookup is the per-delivery
   // routing cost, so these sit on the hot path.  Sessions are never erased.
   FlatMap<SessionId, std::unique_ptr<MwSvssSession>, SessionIdHash> mw_;

@@ -53,6 +53,11 @@ Runner::Runner(RunnerConfig cfg)
   for (int i = 0; i < cfg_.n; ++i) {
     std::uint64_t slot_seed =
         cfg_.seed * 1315423911ULL + static_cast<std::uint64_t>(i);
+    bool batched_mw = cfg_.batched_mw_children;
+    if (auto oit = cfg_.mw_batch_override.find(i);
+        oit != cfg_.mw_batch_override.end()) {
+      batched_mw = oit->second;
+    }
     auto fit = cfg_.faults.find(i);
     Engine::Interceptor wire;
     if (fit != cfg_.faults.end() && fit->second.kind != ByzKind::kHonest) {
@@ -65,7 +70,7 @@ Runner::Runner(RunnerConfig cfg)
       // outbound gate runs first; a ByzConfig wire interceptor for the
       // same slot composes on top of whatever the strategy emits.
       AdversaryEnv env{i, cfg_.n, cfg_.t, slot_seed,
-                       cfg_.batched_coin_dealing};
+                       cfg_.batched_coin_dealing, batched_mw};
       std::unique_ptr<AdversarySlot> slot = ait->second(env);
       if (!slot) throw std::invalid_argument("Runner: null adversary slot");
       advs_[static_cast<std::size_t>(i)] = slot.get();
@@ -79,7 +84,7 @@ Runner::Runner(RunnerConfig cfg)
       continue;
     }
     auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t,
-                                       cfg_.batched_coin_dealing);
+                                       cfg_.batched_coin_dealing, batched_mw);
     nodes_[static_cast<std::size_t>(i)] = node.get();
     engine_.set_process(i, std::move(node));
     if (wire) engine_.set_interceptor(i, std::move(wire));

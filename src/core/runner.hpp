@@ -49,6 +49,14 @@ struct RunnerConfig {
   // message/RBC instance per session — same values, unbatched framing
   // (tests/batch_equivalence_test pins the equivalence).
   bool batched_coin_dealing = true;
+  // Coalesce the coin-nested MW-SVSS child traffic (acks, L/M-sets, OKs,
+  // recon broadcasts, dealer/echo/monitor directs) under group envelopes
+  // (src/mwsvss/group_transport.hpp).  Inbound envelopes are always
+  // understood, so mixed fleets interoperate; the flag — overridable per
+  // slot below — only selects a process's own outbound framing.
+  bool batched_mw_children = true;
+  // Per-slot override of batched_mw_children (mixed-fleet experiments).
+  std::map<int, bool> mw_batch_override;
 };
 
 // Canonical session ids for top-level invocations.

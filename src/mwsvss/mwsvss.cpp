@@ -139,11 +139,24 @@ void MwSvssSession::on_broadcast(Context& ctx, int origin, const Message& m) {
       if (origin != dealer()) return;
       ok_seen_ = true;
       break;
-    case MsgType::kMwReconVal:
+    case MsgType::kMwReconVal: {
       // DMM rules 2-3 ran before this handler (see core::Node routing).
-      if (m.vals.size() != 1 || !valid_pid(m.a)) return;
+      if (m.vals.size() != 1 || !valid_pid(m.a) || !valid_pid(origin)) {
+        return;
+      }
+      if (recon_seen_.empty()) {
+        recon_seen_.assign(
+            static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+            false);
+      }
+      std::size_t bit = static_cast<std::size_t>(origin) *
+                            static_cast<std::size_t>(n_) +
+                        static_cast<std::size_t>(m.a);
+      if (recon_seen_[bit]) return;
+      recon_seen_[bit] = true;
       recon_vals_.push_back(ReconVal{origin, m.a, m.vals[0]});
       break;
+    }
     default:
       return;
   }
@@ -365,6 +378,8 @@ void MwSvssSession::compact() {
   m_building_.clear();
   recon_vals_.clear();
   recon_vals_.shrink_to_fit();
+  recon_seen_.clear();
+  recon_seen_.shrink_to_fit();
   kvals_.clear();
   fbar_.clear();
 }

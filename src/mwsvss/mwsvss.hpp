@@ -158,6 +158,15 @@ class MwSvssSession {
     Fp x;
   };
   std::vector<ReconVal> recon_vals_;        // arrival order
+  // One recon value per (origin, monitored poly).  With per-session RBC
+  // framing the instance id (origin, sid, type, l) enforces this
+  // structurally; with the group-coalesced transport a Byzantine origin
+  // could replay a pair across two envelope flushes, so the session pins
+  // the uniqueness itself (duplicate points would poison interpolation).
+  // An (origin, l) bitmap sized n*n lazily — recon broadcasts are the
+  // dominant MW traffic class, so this sits on the delivery hot path and
+  // must not allocate per insert.
+  std::vector<bool> recon_seen_;
   std::size_t recon_cursor_ = 0;
   std::map<int, std::vector<std::pair<Fp, Fp>>> kvals_;  // l -> K_{self,l}
   std::map<int, Polynomial> fbar_;          // l -> interpolated f-bar_l

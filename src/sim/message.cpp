@@ -120,6 +120,12 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kMwMset: return "mw-mset";
     case MsgType::kMwOk: return "mw-ok";
     case MsgType::kMwReconVal: return "mw-recon-val";
+    case MsgType::kMwBatchDirect: return "mw-batch-direct";
+    case MsgType::kMwBatchAck: return "mw-batch-ack";
+    case MsgType::kMwBatchLset: return "mw-batch-lset";
+    case MsgType::kMwBatchMset: return "mw-batch-mset";
+    case MsgType::kMwBatchOk: return "mw-batch-ok";
+    case MsgType::kMwBatchReconVal: return "mw-batch-recon-val";
     case MsgType::kSvssDealerShares: return "svss-dealer-shares";
     case MsgType::kSvssGset: return "svss-gset";
     case MsgType::kSvssBatchShares: return "svss-batch-shares";

@@ -71,6 +71,19 @@ enum class MsgType : std::uint8_t {
   kMwMset = 8,          // moderator: the accepted monitor set M   (RB)
   kMwOk = 9,            // dealer: OK                              (RB)
   kMwReconVal = 10,     // j: (l, f_l(j)) in reconstruct           (RB)
+  // --- group-coalesced MW transport (src/mwsvss/group_transport) ---
+  // One envelope coalesces the same-type messages a sender emits, within
+  // one delivery cascade, for the n sibling MW children (attachees) of one
+  // (round, dealer, owner, moderator, variant) coin group.  Direct
+  // envelopes carry mixed per-session sub-types; each RB type keeps its own
+  // envelope so one kMwBatch* RBC instance per (group, sender, type, flush)
+  // replaces up to n per-session instances.
+  kMwBatchDirect = 11,    // (type, j, len) triples in ints; vals concat
+  kMwBatchAck = 12,       // ints = attachee list                  (RB)
+  kMwBatchLset = 13,      // ints = (j, len, members...) runs      (RB)
+  kMwBatchMset = 14,      // ints = (j, len, members...) runs      (RB)
+  kMwBatchOk = 15,        // ints = attachee list                  (RB)
+  kMwBatchReconVal = 16,  // ints = (j, l) pairs; vals = values    (RB)
   // --- SVSS (Section 4) ---
   kSvssDealerShares = 20,  // dealer -> j: g_j, h_j points         (direct)
   kSvssGset = 21,          // dealer: G and {G_j}                  (RB)

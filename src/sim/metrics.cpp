@@ -1,9 +1,88 @@
 #include "sim/metrics.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <vector>
 
 namespace svss {
+
+const char* Metrics::type_group(MsgType type, bool* batched) {
+  *batched = false;
+  switch (type) {
+    case MsgType::kMwBatchDirect:
+      *batched = true;
+      [[fallthrough]];
+    case MsgType::kMwDealerShares:
+    case MsgType::kMwDealerPoly:
+    case MsgType::kMwDealerWhole:
+    case MsgType::kMwEchoVal:
+    case MsgType::kMwMonitorVal:
+      return "mw-direct";
+    case MsgType::kMwBatchAck:
+    case MsgType::kMwBatchLset:
+    case MsgType::kMwBatchMset:
+    case MsgType::kMwBatchOk:
+    case MsgType::kMwBatchReconVal:
+      *batched = true;
+      [[fallthrough]];
+    case MsgType::kMwAck:
+    case MsgType::kMwLset:
+    case MsgType::kMwMset:
+    case MsgType::kMwOk:
+    case MsgType::kMwReconVal:
+      return "mw-rb";
+    case MsgType::kSvssBatchShares:
+      *batched = true;
+      [[fallthrough]];
+    case MsgType::kSvssDealerShares:
+      return "svss-deal";
+    case MsgType::kSvssBatchGset:
+      *batched = true;
+      [[fallthrough]];
+    case MsgType::kSvssGset:
+      return "svss-gset";
+    case MsgType::kCoinGset:
+    case MsgType::kCoinStartRecon:
+      return "coin";
+    case MsgType::kAbaVote:
+      return "aba";
+    case MsgType::kAcsProposal:
+    case MsgType::kSumPoint:
+      return "ext";
+    case MsgType::kTestPayload:
+      return "other";
+  }
+  return "other";
+}
+
+std::string Metrics::group_summary() const {
+  // Fixed presentation order so the line is stable across runs.
+  static constexpr const char* kGroups[] = {"mw-rb",     "mw-direct",
+                                            "svss-deal", "svss-gset",
+                                            "coin",      "aba",
+                                            "ext",       "other"};
+  std::string s;
+  for (const char* group : kGroups) {
+    std::uint64_t total = 0;
+    std::uint64_t batched = 0;
+    for (std::size_t i = 0; i < kTypeSlots; ++i) {
+      if (packets_by_type[i] == 0) continue;
+      bool is_batched = false;
+      if (std::string_view(type_group(static_cast<MsgType>(i),
+                                      &is_batched)) != group) {
+        continue;
+      }
+      total += packets_by_type[i];
+      if (is_batched) batched += packets_by_type[i];
+    }
+    if (total == 0) continue;
+    s += s.empty() ? " [packets by group:" : "";
+    s += std::string(" ") + group + "=" + std::to_string(total);
+    if (batched > 0) s += " (" + std::to_string(batched) + " batched)";
+  }
+  if (!s.empty()) s += "]";
+  return s;
+}
 
 std::string Metrics::summary() const {
   std::string s = "delivered " + std::to_string(packets_delivered) + "/" +
@@ -32,6 +111,7 @@ std::string Metrics::summary() const {
     }
     s += "]";
   }
+  s += group_summary();
   return s;
 }
 

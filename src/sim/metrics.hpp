@@ -66,6 +66,16 @@ struct Metrics {
 
   // One-line human-readable digest for runner/example summary output.
   [[nodiscard]] std::string summary() const;
+
+  // Traffic-group attribution: every MsgType belongs to one protocol
+  // traffic group (mw-rb, mw-direct, svss-deal, svss-gset, coin, aba, ext,
+  // other) and is either per-session framing or a batch envelope.  The
+  // (group, batched?) packet split is what makes a batching win directly
+  // readable from a run summary — e.g. the stress lane's >=5x full-stack
+  // packet-reduction claim.
+  static const char* type_group(MsgType type, bool* batched);
+  // " [packets by group: mw-rb=N (M batched) ...]"; empty when no packets.
+  [[nodiscard]] std::string group_summary() const;
 };
 
 }  // namespace svss

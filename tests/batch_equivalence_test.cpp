@@ -1,212 +1,87 @@
-// Batched vs unbatched coin-round SVSS dealing (src/coin/batched_transport).
+// Differential equivalence across wire framings (tests/equivalence_common).
 //
-// The batched transport is a *framing* change: the n coin-owned SVSS
-// sessions per (round, dealer) share one direct envelope per recipient and
-// one G-set RBC instance, but the sessions run the unmodified dealing code
-// in the same order, so RNG consumption — and therefore every dealt
-// polynomial and secret — is identical per seed across the two modes.
-// What batching may legitimately change is the packet schedule (fewer,
-// fatter packets), and with it which G-sets freeze first and hence the
-// coin's output bit; what it must never change is any dealt or
-// reconstructed value, termination, or the shunning discipline.
-//
-// Property, per (scheduler x adversary strategy x seed) cell:
-//  1. both modes terminate (quiescent; honest cells produce all outputs);
-//  2. every coin-owned SVSS session of an *honest* dealer that completes
-//     reconstruction in both runs reconstructs the *same* value at every
-//     process — the batched wire never alters content;
-//  3. shunning stays sound in both modes (honest processes only ever shun
-//     faulty slots; none in honest cells);
-//  4. batched runs replay deterministically (same config => byte-identical
-//     event log).
-// ABA cells additionally require matching clean verdicts (decided, agreed,
-// valid) in both modes.
+// Two batched transports change the protocol's framing without touching
+// its content: the coin-dealing batcher (src/coin/batched_transport, PR 4)
+// and the MW child-traffic coalescer (src/mwsvss/group_transport).  The
+// harness in equivalence_common.hpp states what "without touching content"
+// means — identical reconstructed values for honest dealers, matching
+// clean verdicts, sound shunning, deterministic replay — over the full
+// seeds x adversary-strategies x SchedulerKinds grid.  This file
+// instantiates it for the three variant pairs: MW coalescing alone,
+// coin-dealing batching alone, and the combined (default) mode, each
+// against the fully per-session framing.
 #include <gtest/gtest.h>
 
-#include <map>
-#include <optional>
-#include <tuple>
-#include <vector>
-
-#include "adversary/adversary.hpp"
-#include "core/runner.hpp"
-#include "sweep_common.hpp"
+#include "equivalence_common.hpp"
 
 namespace svss {
 namespace {
 
-using adversary::AdversaryConfig;
-using adversary::StrategyKind;
+using equivalence::Variant;
+using equivalence::VariantPair;
 
-// (process, session) -> reconstructed value of a coin-owned SVSS session.
-using ReconMap =
-    std::map<std::pair<int, SessionId>, std::optional<std::int64_t>>;
-
-ReconMap coin_recon_outputs(const EventLog& log) {
-  ReconMap out;
-  for (const Event& e : log.events()) {
-    if (e.kind != EventKind::kSvssReconOutput) continue;
-    if (e.sid.path != SessionPath::kSvssCoin) continue;
-    out.emplace(std::make_pair(e.who, e.sid),
-                e.has_value ? std::optional<std::int64_t>(e.value)
-                            : std::nullopt);
-  }
-  return out;
+Variant unbatched() {
+  return Variant{"unbatched", [](RunnerConfig& cfg) {
+                   cfg.batched_coin_dealing = false;
+                   cfg.batched_mw_children = false;
+                 }};
 }
 
-struct Cell {
-  std::optional<StrategyKind> strategy;  // nullopt = all honest
-  SchedulerKind scheduler;
-  std::uint64_t seed;
-};
-
-RunnerConfig cell_config(const Cell& cell, bool batched) {
-  RunnerConfig cfg;
-  cfg.n = 4;
-  cfg.t = 1;
-  cfg.seed = cell.seed;
-  cfg.scheduler = cell.scheduler;
-  cfg.batched_coin_dealing = batched;
-  cfg.max_deliveries = 20'000'000;
-  cfg.warn_on_cap = false;  // adversarial dealers may stall cleanly
-  if (cell.strategy) {
-    adversary::install_adversaries(cfg, *cell.strategy, cfg.t);
-  }
-  return cfg;
+Variant mw_only() {
+  return Variant{"mw-batched", [](RunnerConfig& cfg) {
+                   cfg.batched_coin_dealing = false;
+                   cfg.batched_mw_children = true;
+                 }};
 }
 
-// Honest dealers in the cell (adversaries occupy the top t slots).
-bool honest_dealer(const Cell& cell, int dealer) {
-  return !cell.strategy || dealer < 3;
+Variant coin_only() {
+  return Variant{"coin-batched", [](RunnerConfig& cfg) {
+                   cfg.batched_coin_dealing = true;
+                   cfg.batched_mw_children = false;
+                 }};
 }
 
-void expect_sound_shuns(const Runner& r, const Cell& cell,
-                        const char* mode) {
-  for (const auto& [who, whom] : r.honest_shun_pairs()) {
-    EXPECT_FALSE(r.is_honest(whom))
-        << mode << ": honest " << who << " shunned honest " << whom
-        << " (seed " << cell.seed << ")";
-  }
+Variant combined() {
+  return Variant{"combined", [](RunnerConfig& cfg) {
+                   cfg.batched_coin_dealing = true;
+                   cfg.batched_mw_children = true;
+                 }};
 }
 
-// Every scheduler x every PR-3 strategy (plus honest cells), one coin
-// round each in both modes.
-TEST(BatchEquivalence, CoinRoundValuesAndVerdictsMatch) {
-  std::vector<Cell> cells;
-  for (SchedulerKind sched : sweep::kAllSchedulers) {
-    for (std::uint64_t seed : {7101ull, 7102ull}) {
-      cells.push_back(Cell{std::nullopt, sched, seed});
-    }
-    int k = 0;
-    for (StrategyKind strategy : adversary::kAllStrategies) {
-      cells.push_back(
-          Cell{strategy, sched, 7200 + static_cast<std::uint64_t>(k++)});
-    }
-  }
-
-  for (const Cell& cell : cells) {
-    ReconMap recon[2];
-    bool quiescent[2] = {false, false};
-    bool all_output[2] = {false, false};
-    for (int batched = 0; batched <= 1; ++batched) {
-      Runner r(cell_config(cell, batched != 0));
-      auto res = r.run_coin();
-      quiescent[batched] = res.status == RunStatus::kQuiescent;
-      all_output[batched] = res.all_output;
-      for (const auto& [i, bit] : res.bits) {
-        EXPECT_TRUE(bit == 0 || bit == 1);
-        (void)i;
-      }
-      expect_sound_shuns(r, cell, batched ? "batched" : "unbatched");
-      if (!cell.strategy) {
-        EXPECT_TRUE(res.all_output)
-            << "seed " << cell.seed << " batched=" << batched;
-        EXPECT_TRUE(res.shun_pairs.empty())
-            << "seed " << cell.seed << " batched=" << batched;
-      }
-      recon[batched] = coin_recon_outputs(r.engine().log());
-    }
-    EXPECT_TRUE(quiescent[0] && quiescent[1]) << "seed " << cell.seed;
-    if (!cell.strategy) {
-      EXPECT_EQ(all_output[0], all_output[1]) << "seed " << cell.seed;
-    }
-
-    // Content equivalence: a session of an honest dealer reconstructed to
-    // a value in both modes reconstructed to the *same* value — the
-    // batched framing never changes what was dealt.
-    int compared = 0;
-    for (const auto& [key, value] : recon[0]) {
-      if (!honest_dealer(cell, key.second.owner)) continue;
-      auto it = recon[1].find(key);
-      if (it == recon[1].end()) continue;
-      if (!value || !it->second) continue;  // bottom implies shunning
-      EXPECT_EQ(*value, *it->second)
-          << "process " << key.first << " session " << key.second.str()
-          << " seed " << cell.seed;
-      ++compared;
-    }
-    if (!cell.strategy) {
-      // Honest cells reconstruct every session in both modes: the content
-      // check must not be vacuous.
-      EXPECT_GT(compared, 0) << "seed " << cell.seed;
-    }
-  }
+// --- MW group coalescing alone -------------------------------------
+TEST(BatchEquivalence, MwCoalescingCoinValuesAndVerdictsMatch) {
+  equivalence::run_coin_equivalence(VariantPair{unbatched(), mw_only()});
 }
 
-// Full agreement through the SVSS coin: both modes must reach clean verdicts
-// (decided, agreed, valid) for the same seed under every scheduler.
-TEST(BatchEquivalence, AbaVerdictsMatchAcrossModes) {
-  for (SchedulerKind sched : sweep::kAllSchedulers) {
-    for (std::uint64_t seed : {7301ull, 7302ull}) {
-      for (int batched = 0; batched <= 1; ++batched) {
-        RunnerConfig cfg;
-        cfg.n = 4;
-        cfg.t = 1;
-        cfg.seed = seed;
-        cfg.scheduler = sched;
-        cfg.batched_coin_dealing = batched != 0;
-        Runner r(cfg);
-        auto res = r.run_aba({0, 1, 0, 1}, CoinMode::kSvss);
-        EXPECT_TRUE(res.all_decided)
-            << "seed " << seed << " batched=" << batched;
-        EXPECT_TRUE(res.agreed) << "seed " << seed << " batched=" << batched;
-        EXPECT_TRUE(res.value == 0 || res.value == 1);
-        EXPECT_EQ(res.status, RunStatus::kQuiescent);
-      }
-    }
-  }
+TEST(BatchEquivalence, MwCoalescingAbaVerdictsMatch) {
+  equivalence::run_aba_equivalence(VariantPair{unbatched(), mw_only()});
 }
 
-// Determinism: the batched path is a pure function of the config — two
-// runs of the same seed produce byte-identical event logs (the engine's
-// replay guarantee extends to the new transport).
-TEST(BatchEquivalence, BatchedRunsReplayDeterministically) {
-  auto fingerprint = [](const EventLog& log) {
-    std::vector<std::tuple<int, int, int, SessionId, std::int64_t, bool>> fp;
-    for (const Event& e : log.events()) {
-      fp.emplace_back(static_cast<int>(e.kind), e.who, e.other, e.sid,
-                      e.value, e.has_value);
-    }
-    return fp;
-  };
-  for (SchedulerKind sched : sweep::kAllSchedulers) {
-    std::optional<decltype(fingerprint(EventLog{}))> first;
-    for (int rep = 0; rep < 2; ++rep) {
-      RunnerConfig cfg;
-      cfg.n = 4;
-      cfg.t = 1;
-      cfg.seed = 7400;
-      cfg.scheduler = sched;
-      Runner r(cfg);
-      auto res = r.run_coin();
-      ASSERT_TRUE(res.all_output);
-      auto fp = fingerprint(r.engine().log());
-      if (!first) {
-        first = std::move(fp);
-      } else {
-        EXPECT_EQ(*first, fp) << sweep::scheduler_name(sched);
-      }
-    }
+// --- coin-dealing batching alone (the PR-4 property, re-based) ------
+TEST(BatchEquivalence, CoinDealingCoinValuesAndVerdictsMatch) {
+  equivalence::run_coin_equivalence(VariantPair{unbatched(), coin_only()});
+}
+
+TEST(BatchEquivalence, CoinDealingAbaVerdictsMatch) {
+  equivalence::run_aba_equivalence(VariantPair{unbatched(), coin_only()});
+}
+
+// --- combined mode (the production default) -------------------------
+TEST(BatchEquivalence, CombinedCoinValuesAndVerdictsMatch) {
+  equivalence::run_coin_equivalence(VariantPair{unbatched(), combined()});
+}
+
+TEST(BatchEquivalence, CombinedAbaVerdictsMatch) {
+  equivalence::run_aba_equivalence(VariantPair{unbatched(), combined()});
+}
+
+// --- replay determinism of every framing ----------------------------
+// The engine's byte-identical-replay guarantee must extend to each
+// transport: a framing is a pure function of the config.
+TEST(BatchEquivalence, EveryFramingReplaysDeterministically) {
+  for (const Variant& v :
+       {unbatched(), mw_only(), coin_only(), combined()}) {
+    equivalence::run_replay_determinism(v);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/rng.hpp"
+#include "sim/metrics.hpp"
 
 namespace svss {
 namespace {
@@ -167,6 +168,59 @@ TEST(Message, TypeNamesCoverProtocolTypes) {
 
 TEST(SessionId, StrIsHumanReadable) {
   EXPECT_NE(sample_sid().str().find("mw/svss/coin"), std::string::npos);
+}
+
+// Traffic-group attribution: every per-session MsgType and its batch
+// envelope land in the same group, distinguished only by the batched flag
+// — that pairing is what makes "N packets, M of them batched" a direct
+// readout of a coalescing win.
+TEST(Metrics, TypeGroupPairsEnvelopesWithTheirSessionTypes) {
+  struct Case {
+    MsgType session_type;
+    MsgType batch_type;
+    const char* group;
+  };
+  const Case cases[] = {
+      {MsgType::kMwAck, MsgType::kMwBatchAck, "mw-rb"},
+      {MsgType::kMwLset, MsgType::kMwBatchLset, "mw-rb"},
+      {MsgType::kMwMset, MsgType::kMwBatchMset, "mw-rb"},
+      {MsgType::kMwOk, MsgType::kMwBatchOk, "mw-rb"},
+      {MsgType::kMwReconVal, MsgType::kMwBatchReconVal, "mw-rb"},
+      {MsgType::kMwEchoVal, MsgType::kMwBatchDirect, "mw-direct"},
+      {MsgType::kSvssDealerShares, MsgType::kSvssBatchShares, "svss-deal"},
+      {MsgType::kSvssGset, MsgType::kSvssBatchGset, "svss-gset"},
+  };
+  for (const Case& c : cases) {
+    bool batched = true;
+    EXPECT_STREQ(Metrics::type_group(c.session_type, &batched), c.group)
+        << msg_type_name(c.session_type);
+    EXPECT_FALSE(batched) << msg_type_name(c.session_type);
+    EXPECT_STREQ(Metrics::type_group(c.batch_type, &batched), c.group)
+        << msg_type_name(c.batch_type);
+    EXPECT_TRUE(batched) << msg_type_name(c.batch_type);
+  }
+  bool batched = true;
+  EXPECT_STREQ(Metrics::type_group(MsgType::kAbaVote, &batched), "aba");
+  EXPECT_FALSE(batched);
+  EXPECT_STREQ(Metrics::type_group(MsgType::kCoinGset, &batched), "coin");
+  EXPECT_FALSE(batched);
+}
+
+TEST(Metrics, GroupSummaryAttributesPacketsPerGroupWithBatchedSplit) {
+  Metrics m;
+  EXPECT_EQ(m.group_summary(), "");  // no packets, no line
+
+  m.note_type(MsgType::kMwAck, 10);
+  m.note_type(MsgType::kMwOk, 10);
+  m.note_type(MsgType::kMwBatchAck, 30);       // mw-rb: 3 total, 1 batched
+  m.note_type(MsgType::kMwEchoVal, 12);        // mw-direct: 2, 1 batched
+  m.note_type(MsgType::kMwBatchDirect, 40);
+  m.note_type(MsgType::kAbaVote, 8);           // aba: 1, none batched
+  EXPECT_EQ(m.group_summary(),
+            " [packets by group: mw-rb=3 (1 batched)"
+            " mw-direct=2 (1 batched) aba=1]");
+  // The attribution rides on the human-readable digest.
+  EXPECT_NE(m.summary().find("mw-rb=3 (1 batched)"), std::string::npos);
 }
 
 }  // namespace

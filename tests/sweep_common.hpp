@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -55,6 +56,10 @@ struct SweepSpec {
   // scale).
   int full_stack_max_n = 4;
   std::uint64_t max_deliveries = 20'000'000;
+  // Optional per-cell config mutation (mixed-fleet framing overrides and
+  // the like), applied after the base fields and before the strategy is
+  // installed.
+  std::function<void(RunnerConfig&)> configure;
 };
 
 // Honest-input pattern of one cell.  Mixed inputs exercise the coin path
@@ -191,6 +196,7 @@ inline CellResult run_aba_cell(int n, adversary::StrategyKind strategy,
   cfg.seed = seed;
   cfg.scheduler = scheduler;
   cfg.max_deliveries = spec.max_deliveries;
+  if (spec.configure) spec.configure(cfg);
   int faulty = cell.t;
   adversary::AdversaryConfig base;
   if (strategy == adversary::StrategyKind::kColludingCabal &&

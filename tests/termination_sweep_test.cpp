@@ -92,6 +92,34 @@ TEST(TerminationSweep, IdealCoinMedium) {
   sweep::maybe_write_report(report, "ideal-coin-n7");
 }
 
+// Mixed fleet: the lower half of the processes keep per-session MW
+// framing while the upper half — including the adversary slot (top id) —
+// coalesce their child traffic into group envelopes.  Inbound envelopes
+// are understood unconditionally, so the halves must interoperate: every
+// cell terminates with clean verdicts even when the equivocating dealer
+// plays its split-brain game *in the batched role* (its two honest-code
+// forks emit kMwBatch* envelopes carrying forked polynomials).
+TEST(TerminationSweep, MixedMwFleetWithBatchedAdversary) {
+  SweepSpec spec;
+  spec.ns = {4};
+  spec.full_stack_max_n = 4;  // full SVSS-coin stack: MW children exist
+  spec.strategies = {StrategyKind::kEquivocatingDealer};
+  spec.schedulers = all_schedulers();
+  spec.seeds = {71, 72};
+  spec.configure = [](RunnerConfig& cfg) {
+    // batched_mw_children defaults to true; un-batch the lower half so
+    // the run mixes both framings (the adversary, at slot n-1, stays in
+    // the batched half).
+    for (int i = 0; i < cfg.n / 2; ++i) cfg.mw_batch_override[i] = false;
+  };
+  auto report = sweep::run_aba_termination_sweep(spec);
+  ASSERT_EQ(report.total(), 4 * 2);
+  expect_clean(report);
+  EXPECT_GT(report.attacked_count(StrategyKind::kEquivocatingDealer), 0)
+      << report.to_json();
+  sweep::maybe_write_report(report, "mixed-mw-fleet-n4");
+}
+
 // The max_deliveries guard must be a first-class outcome: a capped run
 // reports RunStatus::kDeliveryCap *and* surfaces the cap in Metrics, so
 // sweeps can count capped runs instead of silently truncating.
