@@ -2,17 +2,30 @@
 //
 // Scenario: n replicas received (possibly conflicting) votes on whether to
 // commit a cross-shard transaction.  The network is asynchronous and
-// hostile (targeted delays), and up to t replicas are Byzantine.  The
-// cluster runs the paper's agreement protocol; for contrast, the same
-// workload runs on the Bracha-style local-coin baseline, which needs far
-// more rounds at scale.
+// hostile, and up to t replicas are Byzantine.  The cluster runs the
+// paper's agreement protocol; for contrast, the same workload runs on the
+// Bracha-style local-coin baseline, which needs far more rounds at scale.
+//
+// Two deployment shapes:
 //
 //   $ ./agreement_cluster [n] [seed]
+//       In-process comparison run (deterministic simulator): the paper's
+//       SVSS coin vs. the local-coin and ideal-coin baselines, with t
+//       replicas wire-corrupted and a hostile scheduler.
+//
+//   $ ./agreement_cluster --id I --peers H:P,H:P,... [--seed S] [--vote V]
+//       One replica of a REAL multi-process deployment: this process is
+//       slot I of the fleet, binds peers[I], speaks TCP to the others, and
+//       decides over actual sockets.  Launch n of these (one per slot) and
+//       each prints "decided value=..." — scripts/socket_smoke.sh does
+//       exactly that and asserts they agree.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "core/runner.hpp"
+#include "core/service_builder.hpp"
 
 namespace {
 
@@ -31,33 +44,95 @@ void print_result(const char* label, const svss::Runner::AbaResult& res) {
               static_cast<unsigned long long>(res.metrics.packets_sent));
 }
 
+int run_daemon(int id, const std::string& peers_spec, std::uint64_t seed,
+               int vote) {
+  auto cluster = svss::net::parse_cluster(peers_spec);
+  if (!cluster) {
+    std::fprintf(stderr, "agreement_cluster: bad --peers spec\n");
+    return 2;
+  }
+  int n = cluster->n();
+  if (id < 0 || id >= n) {
+    std::fprintf(stderr, "agreement_cluster: --id outside the fleet\n");
+    return 2;
+  }
+  if (vote < 0) vote = make_votes(n, seed)[static_cast<std::size_t>(id)];
+
+  svss::DaemonService replica =
+      svss::ServiceBuilder{}.seed(seed).build_daemon(id, *cluster);
+  std::printf("agreement_cluster[%d]: joining fleet of %d, vote=%d\n", id, n,
+              vote);
+  replica.node().set_start_action(
+      [vote](svss::Context& c, svss::Node& nd) {
+        nd.start_aba(c, vote, svss::CoinMode::kSvss);
+      });
+  if (!replica.start()) {
+    std::fprintf(stderr, "agreement_cluster[%d]: failed to bind endpoint\n",
+                 id);
+    return 2;
+  }
+  bool decided = replica.run_until(
+      [&] {
+        const svss::AbaSession* a = replica.node().aba();
+        return a != nullptr && a->decided();
+      },
+      60'000);
+  if (!decided) {
+    std::printf("agreement_cluster[%d]: TIMEOUT without decision\n", id);
+    return 1;
+  }
+  std::printf("agreement_cluster[%d]: decided value=%d round=%u\n", id,
+              replica.node().aba()->decision(),
+              replica.node().aba()->decision_round());
+  std::fflush(stdout);
+  // Stay up so laggard peers can still complete their broadcasts.
+  replica.linger(2'000);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  int n = argc > 1 ? std::atoi(argv[1]) : 4;
-  std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
-  int t = (n - 1) / 3;
+  int id = -1;
+  std::string peers;
+  std::uint64_t seed = 3;
+  int vote = -1;
+  int n = 4;
+  bool daemon = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--id") == 0 && a + 1 < argc) {
+      id = std::atoi(argv[++a]);
+      daemon = true;
+    } else if (std::strcmp(argv[a], "--peers") == 0 && a + 1 < argc) {
+      peers = argv[++a];
+    } else if (std::strcmp(argv[a], "--seed") == 0 && a + 1 < argc) {
+      seed = std::strtoull(argv[++a], nullptr, 10);
+    } else if (std::strcmp(argv[a], "--vote") == 0 && a + 1 < argc) {
+      vote = std::atoi(argv[++a]);
+    } else if (a == 1) {
+      n = std::atoi(argv[a]);
+    } else if (a == 2) {
+      seed = std::strtoull(argv[a], nullptr, 10);
+    }
+  }
+  if (daemon) return run_daemon(id, peers, seed, vote);
 
+  int t = (n - 1) / 3;
   auto votes = make_votes(n, seed);
   std::printf("cluster of %d replicas (tolerating %d), votes:", n, t);
   for (int v : votes) std::printf(" %d", v);
   std::printf("\n\n");
 
-  auto base_cfg = [&] {
-    svss::RunnerConfig cfg;
-    cfg.n = n;
-    cfg.t = t;
-    cfg.seed = seed;
-    cfg.scheduler = svss::SchedulerKind::kDelayLastHonest;  // hostile net
-    for (int i = n - t; i < n; ++i) {
-      cfg.faults[i] = svss::ByzConfig{svss::ByzKind::kBitFlip, 0, 0.15};
-    }
-    return cfg;
-  };
+  svss::ServiceBuilder builder;
+  builder.n(n).t(t).seed(seed).scheduler(
+      svss::SchedulerKind::kDelayLastHonest);  // hostile net
+  for (int i = n - t; i < n; ++i) {
+    builder.fault(i, svss::ByzConfig{svss::ByzKind::kBitFlip, 0, 0.15});
+  }
 
   // The paper's protocol: SVSS-based shunning common coin.
   {
-    svss::Runner cluster(base_cfg());
+    svss::Runner cluster = builder.build_runner();
     auto res = cluster.run_aba(votes, svss::CoinMode::kSvss);
     print_result("SVSS coin (paper):", res);
     auto shuns = cluster.honest_shun_pairs();
@@ -69,7 +144,7 @@ int main(int argc, char** argv) {
 
   // Baseline: same voting structure, private local coins (Bracha-style).
   {
-    svss::Runner cluster(base_cfg());
+    svss::Runner cluster = builder.build_runner();
     auto res = cluster.run_aba(votes, svss::CoinMode::kLocal);
     print_result("local coin baseline:", res);
   }
@@ -77,7 +152,7 @@ int main(int argc, char** argv) {
   // Abstraction: ideal common coin (what SCC provides with prob >= 1/4
   // per round) — the round count the paper's analysis predicts.
   {
-    svss::Runner cluster(base_cfg());
+    svss::Runner cluster = builder.build_runner();
     auto res = cluster.run_aba(votes, svss::CoinMode::kIdealCommon);
     print_result("ideal common coin:", res);
   }

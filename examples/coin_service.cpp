@@ -8,34 +8,111 @@
 // unanimous, occasionally split (Definition 2 allows mixed outcomes in up
 // to half the rounds; consumers needing perfect agreement run ABA on top).
 //
+// Two deployment shapes:
+//
 //   $ ./coin_service [rounds] [seed] [--fault]
+//       In-process beacon over the deterministic simulator.
+//
+//   $ ./coin_service --id I --peers H:P,H:P,... [--rounds R] [--seed S]
+//       One beacon node of a REAL multi-process deployment: slot I binds
+//       peers[I] and flips R coins with the fleet over TCP, printing its
+//       view of each bit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
-#include "core/runner.hpp"
+#include "core/service_builder.hpp"
+
+namespace {
+
+int run_daemon(int id, const std::string& peers_spec, std::uint32_t rounds,
+               std::uint64_t seed) {
+  auto cluster = svss::net::parse_cluster(peers_spec);
+  if (!cluster) {
+    std::fprintf(stderr, "coin_service: bad --peers spec\n");
+    return 2;
+  }
+  if (id < 0 || id >= cluster->n()) {
+    std::fprintf(stderr, "coin_service: --id outside the fleet\n");
+    return 2;
+  }
+  svss::DaemonService beacon =
+      svss::ServiceBuilder{}.seed(seed).build_daemon(id, *cluster);
+  if (!beacon.start()) {
+    std::fprintf(stderr, "coin_service[%d]: failed to bind endpoint\n", id);
+    return 2;
+  }
+  std::printf("coin_service[%d]: fleet of %d, %u rounds\n", id, cluster->n(),
+              rounds);
+  for (std::uint32_t round = 1; round <= rounds; ++round) {
+    {
+      // Coin rounds are independent sessions: starting round r as soon as
+      // our round r-1 completed is fine even if peers lag — their messages
+      // route to lazily created sessions.
+      svss::Context ctx = beacon.ctx();
+      beacon.node().coin(ctx, round).start(ctx);
+    }
+    bool done = beacon.run_until(
+        [&] {
+          const svss::CoinSession* cs = beacon.node().find_coin(round);
+          return cs != nullptr && cs->has_output();
+        },
+        30'000);
+    if (!done) {
+      std::printf("coin_service[%d]: round %u TIMEOUT\n", id, round);
+      return 1;
+    }
+    std::printf("coin_service[%d]: round %u bit=%d\n", id, round,
+                beacon.node().find_coin(round)->output());
+    std::fflush(stdout);
+  }
+  beacon.linger(2'000);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  std::uint32_t rounds = argc > 1 ? static_cast<std::uint32_t>(
-                                        std::strtoul(argv[1], nullptr, 10))
-                                  : 8;
-  std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
-  bool with_fault = argc > 3 && std::strcmp(argv[3], "--fault") == 0;
+  int id = -1;
+  std::string peers;
+  std::uint32_t rounds = 8;
+  std::uint64_t seed = 11;
+  bool with_fault = false;
+  bool daemon = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--id") == 0 && a + 1 < argc) {
+      id = std::atoi(argv[++a]);
+      daemon = true;
+    } else if (std::strcmp(argv[a], "--peers") == 0 && a + 1 < argc) {
+      peers = argv[++a];
+    } else if (std::strcmp(argv[a], "--rounds") == 0 && a + 1 < argc) {
+      rounds = static_cast<std::uint32_t>(std::strtoul(argv[++a], nullptr, 10));
+    } else if (std::strcmp(argv[a], "--seed") == 0 && a + 1 < argc) {
+      seed = std::strtoull(argv[++a], nullptr, 10);
+    } else if (std::strcmp(argv[a], "--fault") == 0) {
+      with_fault = true;
+    } else if (a == 1) {
+      rounds = static_cast<std::uint32_t>(std::strtoul(argv[a], nullptr, 10));
+    } else if (a == 2) {
+      seed = std::strtoull(argv[a], nullptr, 10);
+    }
+  }
+  if (daemon) return run_daemon(id, peers, rounds, seed);
 
-  svss::RunnerConfig cfg;
-  cfg.n = 4;
-  cfg.t = 1;
-  cfg.seed = seed;
+  svss::ServiceBuilder builder;
+  builder.n(4).t(1).seed(seed);
   if (with_fault) {
-    cfg.faults[3] = svss::ByzConfig{svss::ByzKind::kWrongRecon};
+    builder.fault(3, svss::ByzConfig{svss::ByzKind::kWrongRecon});
     std::printf("(process 3 is corrupted and lies in reconstruction)\n");
   }
-  svss::Runner service(cfg);
+  svss::Runner service = builder.build_runner();
+  int n = service.config().n;
 
   int unanimous[2] = {0, 0};
   int mixed = 0;
   for (std::uint32_t round = 1; round <= rounds; ++round) {
-    for (int i = 0; i < cfg.n; ++i) {
+    for (int i = 0; i < n; ++i) {
       svss::Context ctx = service.ctx(i);
       service.node(i).coin(ctx, round).start(ctx);
     }

@@ -14,7 +14,7 @@
 #include <cstdlib>
 #include <set>
 
-#include "core/runner.hpp"
+#include "core/service_builder.hpp"
 
 int main(int argc, char** argv) {
   std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
@@ -22,13 +22,13 @@ int main(int argc, char** argv) {
   constexpr int kFaulty = 1;
   constexpr std::uint32_t kDeposits = 6;
 
-  svss::RunnerConfig cfg;
-  cfg.n = kCustodians;
-  cfg.t = kFaulty;
-  cfg.seed = seed;
   // Custodian 3 is corrupted: it lies in reconstruction.
-  cfg.faults[3] = svss::ByzConfig{svss::ByzKind::kWrongRecon};
-  svss::Runner vault(cfg);
+  svss::Runner vault = svss::ServiceBuilder{}
+                           .n(kCustodians)
+                           .t(kFaulty)
+                           .seed(seed)
+                           .fault(3, svss::ByzConfig{svss::ByzKind::kWrongRecon})
+                           .build_runner();
 
   std::printf("vault: %d custodians, tolerating %d corruptions\n",
               kCustodians, kFaulty);

@@ -1,8 +1,12 @@
 #include "adversary/strategy.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "core/byzantine.hpp"
 #include "core/node.hpp"
@@ -146,21 +150,30 @@ class EquivocatingAcsProposer final : public SplitBrainStrategy {
 };
 
 // --------------------------------------------------------------------
-// AdaptiveShunAware — deviates until accused, then hides.
+// AdaptiveShunAware — deviates until it infers an accusation, then hides.
 //
 // Runs one honest Node but corrupts its MW-SVSS reconstruct broadcasts
-// (the deviation DMM rules 2-3 detect) for as long as no honest process
-// has accused it.  The paper's adversary is full-information, so watching
-// the global event log for kShun events naming this slot is the simulator
-// stand-in for inferring accusations from delivered traffic (L/M-set
-// membership, forever-delayed channels).  Once accused it turns honest,
-// probing whether shunning is sticky: DMM must keep the detection anchored
-// even though the process never misbehaves again.
+// (the deviation DMM rules 2-3 detect) for as long as it believes no
+// honest process has accused it.  The belief is *message-observable*:
+// the strategy never touches the global event log, so it stays legal on
+// transports without omniscience (sockets).  What it watches instead is
+// L/M-set membership in delivered RB traffic.  A process that detects
+// this slot discards its messages in every later session (DMM rule 4),
+// so from that point the detector's published confirmer sets L and
+// accepted-monitor sets M stop naming this slot — permanently.  A single
+// exclusion is innocent (sets publish at the n-t threshold, so the
+// slowest process of the moment is routinely left out); a *streak* of
+// them from the same origin with no intervening inclusion is the
+// signature of a forever-delayed channel.  Once the streak crosses the
+// threshold the strategy turns honest, probing whether shunning is
+// sticky: DMM must keep the detection anchored even though the process
+// never misbehaves again.
 // --------------------------------------------------------------------
 class AdaptiveShunAware final : public IStrategy {
  public:
   explicit AdaptiveShunAware(const AdversaryEnv& env)
       : IStrategy(env),
+        excluded_streak_(static_cast<std::size_t>(env.n), 0),
         node_(std::make_unique<Node>(env.self, env.n, env.t, env.batched_coin,
                                      env.batched_mw)) {}
 
@@ -175,7 +188,7 @@ class AdaptiveShunAware final : public IStrategy {
 
   void on_packet(Context& ctx, int from, const Packet& p) override {
     ++stats_.inbound;
-    observe_accusations(ctx);
+    observe_sets(p);
     node_->on_packet(ctx, from, p);
   }
 
@@ -203,19 +216,66 @@ class AdaptiveShunAware final : public IStrategy {
   }
 
  private:
-  void observe_accusations(Context& ctx) {
-    const auto& events = ctx.log().events();
-    for (; cursor_ < events.size(); ++cursor_) {
-      const Event& e = events[cursor_];
-      if (e.kind == EventKind::kShun && e.other == env_.self &&
-          e.who != env_.self) {
-        stats_.adapted = true;
+  // An origin must leave this slot out of this many consecutive observed
+  // publications (post-deviation) before the exclusions read as shunning
+  // rather than as losing the n-t publication race.  At n = 4 a set
+  // usually names 3 of 4 candidates, so an innocent exclusion happens
+  // routinely but an innocent *streak* decays geometrically — while a
+  // detector excludes us in every set it ever publishes again.
+  static constexpr int kExclusionStreak = 3;
+
+  void observe_sets(const Packet& p) {
+    // Accusations can only follow deviations: until the first corrupted
+    // recon broadcast has gone out there is nothing to be accused of, so
+    // set membership before that point is pure publication-race noise.
+    if (stats_.adapted || stats_.mutated == 0 || !p.is_rb) return;
+    MsgType slot = p.bid.slot;
+    bool per_session = slot == MsgType::kMwLset || slot == MsgType::kMwMset;
+    bool batched =
+        slot == MsgType::kMwBatchLset || slot == MsgType::kMwBatchMset;
+    if ((!per_session && !batched) || p.bid.origin == env_.self) return;
+    // RB hands us every phase of the instance (send, echoes, readys), all
+    // carrying the same payload — score each envelope exactly once.
+    if (!seen_.insert(p.bid).second) return;
+    auto msg = Message::deserialize(p.rb_payload());
+    if (!msg) return;
+    const std::vector<int>& ints = msg->ints;
+    bool included = false;
+    if (per_session) {
+      // ints is the member list itself.
+      included = std::find(ints.begin(), ints.end(), env_.self) != ints.end();
+    } else {
+      // Batched framing: ints is (j, len, members...) runs, one published
+      // per-session set each (mwsvss/group_transport.cpp).  The runs of
+      // one envelope are flushed together and share one schedule, so they
+      // are one observation, not len(runs) independent ones: count the
+      // envelope as including us iff *any* of its sets does.
+      std::size_t i = 0;
+      while (i + 2 <= ints.size()) {
+        int len = ints[i + 1];
+        if (len < 0 || i + 2 + static_cast<std::size_t>(len) > ints.size()) {
+          return;  // malformed envelope; not our bug to diagnose
+        }
+        auto first = ints.begin() + static_cast<std::ptrdiff_t>(i + 2);
+        if (std::find(first, first + len, env_.self) != first + len) {
+          included = true;
+        }
+        i += 2 + static_cast<std::size_t>(len);
       }
     }
+    int& streak = excluded_streak_[static_cast<std::size_t>(p.bid.origin)];
+    if (included) {
+      streak = 0;
+      return;
+    }
+    if (++streak >= kExclusionStreak) stats_.adapted = true;
   }
 
+  // Consecutive self-free publications per origin since the first
+  // deviation (cleared when the first corrupted broadcast goes out).
+  std::vector<int> excluded_streak_;
+  std::unordered_set<BcastId, BcastIdHash> seen_;
   std::unique_ptr<Node> node_;
-  std::size_t cursor_ = 0;  // event-log watermark (scan each event once)
 };
 
 // --------------------------------------------------------------------

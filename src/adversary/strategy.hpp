@@ -33,8 +33,11 @@ enum class StrategyKind {
   // process ids, fork 1 to the upper half.
   kEquivocatingDealer,
   // Corrupts its reconstruct broadcasts (the attack DMM rules 2-3 catch)
-  // until it observes a shun accusation against itself, then switches to
-  // fully honest behaviour to evade further detection.
+  // until it infers from delivered traffic — a sustained streak of L/M-set
+  // publications excluding it — that some process shuns it, then switches
+  // to fully honest behaviour to evade further detection.  The inference
+  // is message-observable only, so the strategy is legal on transports
+  // without a global event log.
   kAdaptiveShunAware,
   // Runs the honest protocol but never publishes its moderator M-set
   // broadcasts, stalling every MW-SVSS session it moderates.

@@ -1,0 +1,126 @@
+#include "core/daemon.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace svss {
+
+NodeDaemon::NodeDaemon(int self, int n, int t, std::uint64_t seed,
+                       ITransport& tr, const TransportOptions& opts)
+    : node_(self, n, t, opts.batched_coin(), opts.batched_mw(self)) {
+  world_.self = self;
+  world_.n = n;
+  world_.t = t;
+  // Engine seeds slot RNGs by *sequential* splits from one root (each
+  // split advances the root), so slot i's stream depends on i draws
+  // having happened first.  Replicate exactly, or daemon fleets deal
+  // different values than the simulator for every slot but 0 — the
+  // backend-equivalence harness pins this.
+  Rng root(seed);
+  for (int i = 0; i <= self; ++i) {
+    world_.rng = root.split(static_cast<std::uint64_t>(i));
+  }
+  world_.transport = &tr;
+  tr.set_delivery([this](int from, Packet p) {
+    Context ctx(world_);
+    node_.on_packet(ctx, from, p);
+  });
+}
+
+void NodeDaemon::start() {
+  Context ctx(world_);
+  node_.start(ctx);
+}
+
+// ----------------------------------------------------------------------
+// LoopbackCluster
+// ----------------------------------------------------------------------
+
+LoopbackCluster::LoopbackCluster(LoopbackOptions opts)
+    : opts_(std::move(opts)) {
+  // Phase 1 (main thread): bind every listener on a kernel-assigned port,
+  // then tell every endpoint where its peers landed — before any worker
+  // exists, so the config is frozen by the time threads read it.
+  net::ClusterConfig wild;
+  wild.peers.assign(static_cast<std::size_t>(opts_.n), net::Endpoint{});
+  for (int i = 0; i < opts_.n; ++i) {
+    auto tr = std::make_unique<net::SocketTransport>(i, wild);
+    if (!tr->open()) {
+      throw std::runtime_error("LoopbackCluster: failed to bind listener");
+    }
+    transports_.push_back(std::move(tr));
+  }
+  for (int i = 0; i < opts_.n; ++i) {
+    for (int p = 0; p < opts_.n; ++p) {
+      transports_[static_cast<std::size_t>(i)]->set_peer(
+          p, net::Endpoint{"127.0.0.1",
+                           transports_[static_cast<std::size_t>(p)]
+                               ->bound_port()});
+    }
+  }
+  for (int i = 0; i < opts_.n; ++i) {
+    daemons_.push_back(std::make_unique<NodeDaemon>(
+        i, opts_.n, opts_.t, opts_.seed, *transports_[static_cast<std::size_t>(i)],
+        opts_.transport));
+    auto fit = opts_.faults.find(i);
+    if (fit != opts_.faults.end() && fit->second.kind != ByzKind::kHonest) {
+      std::uint64_t slot_seed =
+          opts_.seed * 1315423911ULL + static_cast<std::uint64_t>(i);
+      auto wire = make_byzantine_interceptor(fit->second, opts_.n, opts_.t,
+                                             slot_seed);
+      transports_[static_cast<std::size_t>(i)]->set_send_hook(
+          [wire, i](int to, Packet& p) { return wire(i, to, p); });
+    }
+  }
+}
+
+LoopbackCluster::~LoopbackCluster() = default;
+
+bool LoopbackCluster::run(const std::function<bool(const Node&)>& pred,
+                          const std::function<bool(int)>& honest) {
+  int waited = 0;
+  for (int i = 0; i < opts_.n; ++i) {
+    if (honest(i)) ++waited;
+  }
+  std::atomic<int> done_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opts_.n));
+  for (int i = 0; i < opts_.n; ++i) {
+    threads.emplace_back([this, i, &pred, &honest, &done_count, waited] {
+      NodeDaemon& d = *daemons_[static_cast<std::size_t>(i)];
+      net::SocketTransport& tr = *transports_[static_cast<std::size_t>(i)];
+      d.start();
+      bool counted = !honest(i);  // faulty slots are never waited on
+      if (counted && waited == 0) return;
+      tr.run_until(
+          [&] {
+            if (!counted && pred(d.node())) {
+              counted = true;
+              done_count.fetch_add(1, std::memory_order_acq_rel);
+            }
+            // Linger after finishing so this endpoint keeps relaying RB
+            // traffic its peers still need.
+            return done_count.load(std::memory_order_acquire) >= waited;
+          },
+          opts_.timeout_ms);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return done_count.load(std::memory_order_acquire) >= waited;
+}
+
+EventLog LoopbackCluster::merged_log() const {
+  EventLog out;
+  for (const auto& d : daemons_) {
+    for (const Event& e : d->world().log.events()) out.record(e);
+  }
+  return out;
+}
+
+Metrics LoopbackCluster::merged_metrics() const {
+  Metrics out;
+  for (const auto& tr : transports_) out.merge(tr->metrics());
+  return out;
+}
+
+}  // namespace svss

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/daemon.hpp"
+
 namespace svss {
 
 SessionId mw_top_id(std::uint32_t c, int dealer, int moderator) {
@@ -38,6 +40,31 @@ RunnerConfig validate(RunnerConfig cfg) {
         "Runner: n < 3t+1 breaks the paper's resilience bound; set "
         "allow_sub_resilience to experiment beyond it");
   }
+  // Merge the deprecated framing aliases into TransportOptions: a
+  // non-default alias value wins (old configs keep their meaning), then
+  // the aliases are re-derived so both views agree for the whole run.
+  if (!cfg.batched_coin_dealing) {
+    cfg.transport.coin_dealing = Framing::kPerSession;
+  }
+  if (!cfg.batched_mw_children) {
+    cfg.transport.mw_children = Framing::kPerSession;
+  }
+  for (const auto& [slot, batched] : cfg.mw_batch_override) {
+    cfg.transport.mw_children_override[slot] =
+        batched ? Framing::kBatched : Framing::kPerSession;
+  }
+  cfg.batched_coin_dealing = cfg.transport.batched_coin();
+  cfg.batched_mw_children = cfg.transport.mw_children == Framing::kBatched;
+  cfg.mw_batch_override.clear();
+  for (const auto& [slot, framing] : cfg.transport.mw_children_override) {
+    cfg.mw_batch_override[slot] = framing == Framing::kBatched;
+  }
+  if (cfg.transport.kind == TransportKind::kSocketLoopback &&
+      !cfg.adversaries.empty()) {
+    throw std::invalid_argument(
+        "Runner: adversary strategies need the deterministic sim backend; "
+        "socket-loopback supports ByzConfig wire faults only");
+  }
   return cfg;
 }
 
@@ -53,11 +80,7 @@ Runner::Runner(RunnerConfig cfg)
   for (int i = 0; i < cfg_.n; ++i) {
     std::uint64_t slot_seed =
         cfg_.seed * 1315423911ULL + static_cast<std::uint64_t>(i);
-    bool batched_mw = cfg_.batched_mw_children;
-    if (auto oit = cfg_.mw_batch_override.find(i);
-        oit != cfg_.mw_batch_override.end()) {
-      batched_mw = oit->second;
-    }
+    bool batched_mw = cfg_.transport.batched_mw(i);
     auto fit = cfg_.faults.find(i);
     Engine::Interceptor wire;
     if (fit != cfg_.faults.end() && fit->second.kind != ByzKind::kHonest) {
@@ -70,7 +93,7 @@ Runner::Runner(RunnerConfig cfg)
       // outbound gate runs first; a ByzConfig wire interceptor for the
       // same slot composes on top of whatever the strategy emits.
       AdversaryEnv env{i, cfg_.n, cfg_.t, slot_seed,
-                       cfg_.batched_coin_dealing, batched_mw};
+                       cfg_.transport.batched_coin(), batched_mw};
       std::unique_ptr<AdversarySlot> slot = ait->second(env);
       if (!slot) throw std::invalid_argument("Runner: null adversary slot");
       advs_[static_cast<std::size_t>(i)] = slot.get();
@@ -84,7 +107,8 @@ Runner::Runner(RunnerConfig cfg)
       continue;
     }
     auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t,
-                                       cfg_.batched_coin_dealing, batched_mw);
+                                       cfg_.transport.batched_coin(),
+                                       batched_mw);
     nodes_[static_cast<std::size_t>(i)] = node.get();
     engine_.set_process(i, std::move(node));
     if (wire) engine_.set_interceptor(i, std::move(wire));
@@ -268,6 +292,9 @@ Runner::SvssResult Runner::run_svss(Fp secret, int dealer, bool reconstruct) {
 // Common coin
 // ---------------------------------------------------------------------
 Runner::CoinResult Runner::run_coin(std::uint32_t round) {
+  if (cfg_.transport.kind == TransportKind::kSocketLoopback) {
+    return run_coin_loopback(round);
+  }
   for (int i = 0; i < cfg_.n; ++i) {
     set_slot_start(i, [round](Context& c, Node& nd) {
       nd.coin(c, round).start(c);
@@ -297,12 +324,115 @@ Runner::CoinResult Runner::run_coin(std::uint32_t round) {
 }
 
 // ---------------------------------------------------------------------
+// Socket-loopback drivers: the same experiments over n real TCP
+// endpoints (core/daemon.hpp) instead of the simulator.  Results carry
+// the cluster's merged log/metrics; the merged events are also copied
+// into engine_.log() so honest_shun_pairs() & co. keep working.
+// ---------------------------------------------------------------------
+namespace {
+
+LoopbackOptions loopback_options(const RunnerConfig& cfg) {
+  LoopbackOptions opts;
+  opts.n = cfg.n;
+  opts.t = cfg.t;
+  opts.seed = cfg.seed;
+  opts.transport = cfg.transport;
+  opts.faults = cfg.faults;
+  return opts;
+}
+
+}  // namespace
+
+Runner::CoinResult Runner::run_coin_loopback(std::uint32_t round) {
+  LoopbackCluster cluster(loopback_options(cfg_));
+  for (int i = 0; i < cfg_.n; ++i) {
+    cluster.node(i).set_start_action([round](Context& c, Node& nd) {
+      nd.coin(c, round).start(c);
+    });
+  }
+  bool finished = cluster.run(
+      [round](const Node& nd) {
+        const CoinSession* cs = nd.find_coin(round);
+        return cs != nullptr && cs->has_output();
+      },
+      [this](int i) { return is_honest(i); });
+  CoinResult res;
+  res.status = finished ? RunStatus::kQuiescent : RunStatus::kDeliveryCap;
+  res.all_output = finished;
+  for (int i : honest_ids()) {
+    const CoinSession* cs = cluster.node(i).find_coin(round);
+    if (cs != nullptr && cs->has_output()) {
+      res.bits.emplace(i, cs->output());
+    } else {
+      res.all_output = false;
+    }
+  }
+  res.agreed = res.all_output && !res.bits.empty();
+  for (const auto& [i, b] : res.bits) {
+    if (b != res.bits.begin()->second) res.agreed = false;
+  }
+  EventLog merged = cluster.merged_log();
+  for (const Event& e : merged.events()) {
+    engine_.log().record(e);
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = cluster.merged_metrics();
+  return res;
+}
+
+Runner::AbaResult Runner::run_aba_loopback(const std::vector<int>& inputs,
+                                           CoinMode mode) {
+  std::uint64_t coin_seed = cfg_.seed ^ 0xC01Full;
+  LoopbackCluster cluster(loopback_options(cfg_));
+  for (int i = 0; i < cfg_.n; ++i) {
+    int input = inputs[static_cast<std::size_t>(i)];
+    cluster.node(i).set_start_action(
+        [input, mode, coin_seed](Context& c, Node& nd) {
+          nd.start_aba(c, input, mode, coin_seed);
+        });
+  }
+  bool finished = cluster.run(
+      [](const Node& nd) {
+        return nd.aba() != nullptr && nd.aba()->decided();
+      },
+      [this](int i) { return is_honest(i); });
+  AbaResult res;
+  res.status = finished ? RunStatus::kQuiescent : RunStatus::kDeliveryCap;
+  res.all_decided = finished;
+  for (int i : honest_ids()) {
+    const AbaSession* a = cluster.node(i).aba();
+    if (a != nullptr && a->decided()) {
+      res.decisions.emplace(i, a->decision());
+      res.decision_rounds.emplace(i, a->decision_round());
+      res.max_round = std::max(res.max_round, a->decision_round());
+    } else {
+      res.all_decided = false;
+    }
+  }
+  res.agreed = res.all_decided && !res.decisions.empty();
+  if (!res.decisions.empty()) res.value = res.decisions.begin()->second;
+  for (const auto& [i, v] : res.decisions) {
+    if (v != res.value) res.agreed = false;
+  }
+  EventLog merged = cluster.merged_log();
+  for (const Event& e : merged.events()) {
+    engine_.log().record(e);
+  }
+  res.shun_pairs = honest_shun_pairs();
+  res.metrics = cluster.merged_metrics();
+  return res;
+}
+
+// ---------------------------------------------------------------------
 // Agreement
 // ---------------------------------------------------------------------
 Runner::AbaResult Runner::run_aba(const std::vector<int>& inputs,
                                   CoinMode mode) {
   if (static_cast<int>(inputs.size()) != cfg_.n) {
     throw std::invalid_argument("run_aba: need one input per process");
+  }
+  if (cfg_.transport.kind == TransportKind::kSocketLoopback) {
+    return run_aba_loopback(inputs, mode);
   }
   std::uint64_t coin_seed = cfg_.seed ^ 0xC01Full;
   for (int i = 0; i < cfg_.n; ++i) {

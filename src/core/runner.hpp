@@ -44,18 +44,24 @@ struct RunnerConfig {
   // Print a one-line warning to stderr when a run stops at the delivery
   // cap (the outcome is also surfaced in Metrics::capped either way).
   bool warn_on_cap = true;
-  // Deal the coin's n SVSS sessions per round over the shared batched
-  // transport (src/coin/batched_transport.hpp).  Off reverts to one
-  // message/RBC instance per session — same values, unbatched framing
-  // (tests/batch_equivalence_test pins the equivalence).
+  // The run's transport surface: which backend (sim | socket-loopback) and
+  // which wire framings (coin-dealing batch, MW group coalescing, per-slot
+  // overrides).  See net/transport.hpp for the semantics of each knob.
+  //
+  // kSocketLoopback runs the same protocol code over n real TCP endpoints
+  // on 127.0.0.1 (one thread each; see core/daemon.hpp) instead of the
+  // simulator.  Supported drivers: run_coin and run_aba.  `scheduler` is
+  // ignored (the kernel is the scheduler), `faults` apply through the send
+  // hook, and `adversaries` are rejected — strategies need scheduler-side
+  // determinism the socket backend cannot give.
+  TransportOptions transport;
+  // --- deprecated aliases -------------------------------------------
+  // Pre-seam names for the framing knobs, kept so existing configs
+  // compile.  A non-default value here overrides the corresponding
+  // `transport` field at validation; after validation both views agree.
+  // New code should set `transport` directly.
   bool batched_coin_dealing = true;
-  // Coalesce the coin-nested MW-SVSS child traffic (acks, L/M-sets, OKs,
-  // recon broadcasts, dealer/echo/monitor directs) under group envelopes
-  // (src/mwsvss/group_transport.hpp).  Inbound envelopes are always
-  // understood, so mixed fleets interoperate; the flag — overridable per
-  // slot below — only selects a process's own outbound framing.
   bool batched_mw_children = true;
-  // Per-slot override of batched_mw_children (mixed-fleet experiments).
   std::map<int, bool> mw_batch_override;
 };
 
@@ -176,6 +182,9 @@ class Runner {
   // Routes a driver's start action to whatever occupies slot i (honest
   // Node or adversary strategy).
   void set_slot_start(int i, std::function<void(Context&, Node&)> action);
+  // Socket-loopback driver bodies (core/daemon.hpp clusters).
+  CoinResult run_coin_loopback(std::uint32_t round);
+  AbaResult run_aba_loopback(const std::vector<int>& inputs, CoinMode mode);
 
   RunnerConfig cfg_;
   Engine engine_;

@@ -1,0 +1,60 @@
+#include "core/service_builder.hpp"
+
+#include <stdexcept>
+
+namespace svss {
+
+DaemonService::DaemonService(int self, int n, int t, std::uint64_t seed,
+                             net::ClusterConfig cluster,
+                             const TransportOptions& opts) {
+  transport_ = std::make_unique<net::SocketTransport>(self, std::move(cluster));
+  daemon_ = std::make_unique<NodeDaemon>(self, n, t, seed, *transport_, opts);
+}
+
+bool DaemonService::start() {
+  if (!transport_->open()) return false;
+  daemon_->start();
+  return true;
+}
+
+bool DaemonService::run_until(const std::function<bool()>& pred,
+                              int timeout_ms) {
+  return transport_->run_until(pred, timeout_ms);
+}
+
+void DaemonService::linger(int linger_ms) {
+  transport_->run_until([] { return false; }, linger_ms);
+}
+
+RunnerConfig ServiceBuilder::runner_config() const {
+  RunnerConfig cfg;
+  cfg.n = n_;
+  cfg.t = t_.value_or((n_ - 1) / 3);
+  cfg.seed = seed_;
+  cfg.scheduler = scheduler_;
+  cfg.transport = options_;
+  cfg.faults = faults_;
+  cfg.max_deliveries = max_deliveries_;
+  return cfg;
+}
+
+DaemonService ServiceBuilder::build_daemon(int self,
+                                           net::ClusterConfig cluster) const {
+  int n = cluster.n();
+  if (self < 0 || self >= n) {
+    throw std::invalid_argument("ServiceBuilder: self outside the cluster");
+  }
+  int t = t_.value_or((n - 1) / 3);
+  DaemonService service(self, n, t, seed_, std::move(cluster), options_);
+  auto fit = faults_.find(self);
+  if (fit != faults_.end() && fit->second.kind != ByzKind::kHonest) {
+    std::uint64_t slot_seed =
+        seed_ * 1315423911ULL + static_cast<std::uint64_t>(self);
+    auto wire = make_byzantine_interceptor(fit->second, n, t, slot_seed);
+    service.transport().set_send_hook(
+        [wire, self](int to, Packet& p) { return wire(self, to, p); });
+  }
+  return service;
+}
+
+}  // namespace svss

@@ -1,0 +1,112 @@
+// svss::ServiceBuilder — the one front door for applications.
+//
+// Every example used to copy-paste RunnerConfig setup; the builder replaces
+// that with a fluent surface covering both deployment shapes:
+//
+//   * build_runner(): an in-process Runner (sim backend by default, or
+//     socket-loopback via transport(TransportKind::kSocketLoopback)) that
+//     owns all n slots — the reproducible-experiment shape.
+//   * build_daemon(self, cluster): ONE slot of a real multi-process
+//     deployment — a Node over a net::SocketTransport bound to this
+//     process's endpoint, dialing the peers in the ClusterConfig.  Each OS
+//     process of the fleet builds its own.
+//
+// Unset fields get the library defaults (t = floor((n-1)/3), batched
+// framings, sim backend).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/daemon.hpp"
+#include "core/runner.hpp"
+#include "net/endpoint.hpp"
+
+namespace svss {
+
+// One OS process of a socket-backed fleet: the transport endpoint plus the
+// NodeDaemon driving a full protocol Node over it.
+class DaemonService {
+ public:
+  DaemonService(int self, int n, int t, std::uint64_t seed,
+                net::ClusterConfig cluster, const TransportOptions& opts);
+
+  Node& node() { return daemon_->node(); }
+  // A Context for injecting local actions (deals, inputs) between polls.
+  Context ctx() { return Context(daemon_->world()); }
+  net::SocketTransport& transport() { return *transport_; }
+
+  // Binds the listener and runs the node's start hook.  False on bind
+  // failure (port taken, bad address).
+  bool start();
+  // Drives the socket loop until pred() or the timeout; true iff pred().
+  bool run_until(const std::function<bool()>& pred, int timeout_ms);
+  // Keeps relaying for `linger_ms` after this slot is done, so peers that
+  // still need our RB echoes/readies can finish too.
+  void linger(int linger_ms);
+
+ private:
+  std::unique_ptr<net::SocketTransport> transport_;
+  std::unique_ptr<NodeDaemon> daemon_;
+};
+
+class ServiceBuilder {
+ public:
+  ServiceBuilder& n(int value) {
+    n_ = value;
+    return *this;
+  }
+  ServiceBuilder& t(int value) {
+    t_ = value;
+    return *this;
+  }
+  ServiceBuilder& seed(std::uint64_t value) {
+    seed_ = value;
+    return *this;
+  }
+  ServiceBuilder& scheduler(SchedulerKind value) {
+    scheduler_ = value;
+    return *this;
+  }
+  ServiceBuilder& transport(TransportKind value) {
+    options_.kind = value;
+    return *this;
+  }
+  ServiceBuilder& coin_framing(Framing value) {
+    options_.coin_dealing = value;
+    return *this;
+  }
+  ServiceBuilder& mw_framing(Framing value) {
+    options_.mw_children = value;
+    return *this;
+  }
+  ServiceBuilder& fault(int id, ByzConfig behaviour) {
+    faults_[id] = behaviour;
+    return *this;
+  }
+  ServiceBuilder& max_deliveries(std::uint64_t value) {
+    max_deliveries_ = value;
+    return *this;
+  }
+
+  [[nodiscard]] RunnerConfig runner_config() const;
+  [[nodiscard]] Runner build_runner() const { return Runner(runner_config()); }
+  // This process as slot `self` of the fleet described by `cluster` (which
+  // also fixes n; t defaults to floor((n-1)/3)).  Faults installed via
+  // fault() apply to this slot only if `self` matches.
+  [[nodiscard]] DaemonService build_daemon(int self,
+                                           net::ClusterConfig cluster) const;
+
+ private:
+  int n_ = 4;
+  std::optional<int> t_;
+  std::uint64_t seed_ = 1;
+  SchedulerKind scheduler_ = SchedulerKind::kRandom;
+  TransportOptions options_;
+  std::map<int, ByzConfig> faults_;
+  std::uint64_t max_deliveries_ = 50'000'000;
+};
+
+}  // namespace svss

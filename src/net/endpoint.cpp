@@ -1,0 +1,35 @@
+#include "net/endpoint.hpp"
+
+namespace svss::net {
+
+std::optional<ClusterConfig> parse_cluster(const std::string& spec) {
+  ClusterConfig cfg;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string entry = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return std::nullopt;
+    }
+    Endpoint ep;
+    ep.host = entry.substr(0, colon);
+    int port = 0;
+    for (std::size_t i = colon + 1; i < entry.size(); ++i) {
+      char c = entry[i];
+      if (c < '0' || c > '9') return std::nullopt;
+      port = port * 10 + (c - '0');
+      if (port > 65535) return std::nullopt;
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    cfg.peers.push_back(std::move(ep));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (cfg.peers.empty()) return std::nullopt;
+  return cfg;
+}
+
+}  // namespace svss::net

@@ -1,0 +1,29 @@
+// Cluster wiring for the socket backend: which process id listens where.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace svss::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+// Maps process ids [0, n) to TCP endpoints.  Every daemon in a cluster
+// must be started with the same config (same order, same addresses); its
+// own id selects the endpoint it binds.
+struct ClusterConfig {
+  std::vector<Endpoint> peers;  // index = process id
+
+  [[nodiscard]] int n() const { return static_cast<int>(peers.size()); }
+};
+
+// Parses "host:port,host:port,..." (the daemons' --peers flag).  Returns
+// nullopt on any malformed entry.
+std::optional<ClusterConfig> parse_cluster(const std::string& spec);
+
+}  // namespace svss::net

@@ -1,0 +1,399 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace svss::net {
+
+namespace {
+
+// epoll_event.data.u64 tag: role in the high bits, index in the low.
+constexpr std::uint64_t kTagListen = 1ull << 62;
+constexpr std::uint64_t kTagOut = 2ull << 62;
+constexpr std::uint64_t kTagIn = 3ull << 62;
+constexpr std::uint64_t kTagMask = 3ull << 62;
+
+bool resolve(const Endpoint& ep, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  const char* host = ep.host == "localhost" ? "127.0.0.1" : ep.host.c_str();
+  return inet_pton(AF_INET, host, &addr.sin_addr) == 1;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int self, ClusterConfig cfg)
+    : self_(self), cfg_(std::move(cfg)),
+      out_(static_cast<std::size_t>(cfg_.n())) {}
+
+SocketTransport::~SocketTransport() {
+  for (auto& o : out_) {
+    if (o.fd >= 0) ::close(o.fd);
+  }
+  for (auto& c : in_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+bool SocketTransport::open() {
+  epfd_ = epoll_create1(0);
+  if (epfd_ < 0) return false;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!resolve(cfg_.peers[static_cast<std::size_t>(self_)], addr)) return false;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return false;
+  }
+  if (::listen(listen_fd_, 128) < 0) return false;
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return false;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kTagListen;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) return false;
+  // Dial everyone on the first poll.
+  for (int p = 0; p < cfg_.n(); ++p) {
+    out_[static_cast<std::size_t>(p)].next_attempt = Clock::now();
+  }
+  return true;
+}
+
+void SocketTransport::set_peer(int id, Endpoint ep) {
+  cfg_.peers.at(static_cast<std::size_t>(id)) = std::move(ep);
+}
+
+// ----------------------------------------------------------------------
+// Sending
+// ----------------------------------------------------------------------
+
+void SocketTransport::meter_send(const Packet& p) {
+  metrics_.packets_sent++;
+  std::size_t bytes = p.wire_size();
+  metrics_.bytes_sent += bytes;
+  metrics_.note_type(p.is_rb ? p.bid.slot : p.app.type, bytes);
+  if (p.is_rb) {
+    metrics_.rb_transport_packets++;
+  } else {
+    metrics_.direct_packets++;
+  }
+}
+
+void SocketTransport::queue_frame(int to, const Packet& p) {
+  meter_send(p);
+  if (to == self_) {
+    local_.push_back(p);
+    return;
+  }
+  append_packet_frame(out_[static_cast<std::size_t>(to)].buf, p);
+}
+
+void SocketTransport::send(int to, Packet p) {
+  if (hook_ && !hook_(to, p)) return;
+  queue_frame(to, p);
+}
+
+void SocketTransport::broadcast(const Packet& p) {
+  for (int to = 0; to < cfg_.n(); ++to) {
+    // Per-recipient hook on a per-recipient copy: equivocation through the
+    // seam mutates one leg without touching the others, exactly like the
+    // sim engine's interceptor.
+    Packet copy = p;
+    if (hook_ && !hook_(to, copy)) continue;
+    queue_frame(to, copy);
+  }
+}
+
+// ----------------------------------------------------------------------
+// Outbound connections
+// ----------------------------------------------------------------------
+
+void SocketTransport::start_connect(int peer) {
+  OutPeer& o = out_[static_cast<std::size_t>(peer)];
+  sockaddr_in addr;
+  if (!resolve(cfg_.peers[static_cast<std::size_t>(peer)], addr)) {
+    drop_out(peer);
+    return;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    drop_out(peer);
+    return;
+  }
+  set_nodelay(fd);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    drop_out(peer);
+    return;
+  }
+  o.fd = fd;
+  o.connecting = rc < 0;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.u64 = kTagOut | static_cast<std::uint64_t>(peer);
+  epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  if (!o.connecting) finish_connect(peer);
+}
+
+// Level-triggered EPOLLOUT on an idle connected socket would wake every
+// epoll_wait immediately, so write-interest is armed only while the
+// connect is in flight or a flush hit EAGAIN.
+void SocketTransport::update_out_events(int peer, bool want_write) {
+  OutPeer& o = out_[static_cast<std::size_t>(peer)];
+  if (o.fd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = kTagOut | static_cast<std::uint64_t>(peer);
+  epoll_ctl(epfd_, EPOLL_CTL_MOD, o.fd, &ev);
+}
+
+void SocketTransport::finish_connect(int peer) {
+  OutPeer& o = out_[static_cast<std::size_t>(peer)];
+  o.connecting = false;
+  o.backoff_ms = 100;
+  update_out_events(peer, false);
+  // The HELLO must precede everything queued so far on this connection.
+  Bytes hello;
+  append_hello_frame(hello, self_);
+  o.buf.insert(o.buf.begin() + static_cast<std::ptrdiff_t>(o.pos),
+               hello.begin(), hello.end());
+  flush_out(peer);
+}
+
+void SocketTransport::drop_out(int peer) {
+  OutPeer& o = out_[static_cast<std::size_t>(peer)];
+  if (o.fd >= 0) {
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, o.fd, nullptr);
+    ::close(o.fd);
+    o.fd = -1;
+  }
+  o.connecting = false;
+  o.next_attempt = Clock::now() + std::chrono::milliseconds(o.backoff_ms);
+  o.backoff_ms = std::min(o.backoff_ms * 2, 2000);
+}
+
+void SocketTransport::flush_out(int peer) {
+  OutPeer& o = out_[static_cast<std::size_t>(peer)];
+  if (o.fd < 0 || o.connecting) return;
+  while (o.pos < o.buf.size()) {
+    ssize_t wrote = ::write(o.fd, o.buf.data() + o.pos, o.buf.size() - o.pos);
+    if (wrote > 0) {
+      o.pos += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      update_out_events(peer, true);
+      return;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    // Connection died: unflushed frames stay in buf and go out on the
+    // next successful dial.
+    drop_out(peer);
+    return;
+  }
+  if (o.pos == o.buf.size()) {
+    update_out_events(peer, false);
+    if (o.pos > (1u << 16)) {
+      o.buf.clear();
+      o.pos = 0;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Inbound connections
+// ----------------------------------------------------------------------
+
+void SocketTransport::handle_accept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN or transient error: accept again later
+    set_nodelay(fd);
+    std::size_t idx = in_.size();
+    for (std::size_t i = 0; i < in_.size(); ++i) {
+      if (in_[i].fd < 0) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == in_.size()) in_.emplace_back();
+    in_[idx] = InConn{};
+    in_[idx].fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagIn | static_cast<std::uint64_t>(idx);
+    epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void SocketTransport::close_inbound(std::size_t idx) {
+  InConn& c = in_[idx];
+  if (c.fd >= 0) {
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+  }
+  c = InConn{};
+  c.fd = -1;
+}
+
+void SocketTransport::handle_inbound(std::size_t idx) {
+  InConn& c = in_[idx];
+  std::uint8_t chunk[65536];
+  for (;;) {
+    ssize_t got = ::read(c.fd, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (got <= 0) {
+      close_inbound(idx);
+      return;
+    }
+    c.decoder.feed(chunk, static_cast<std::size_t>(got));
+    while (auto frame = c.decoder.next()) {
+      if (c.peer < 0) {
+        // First frame must identify the dialer; anything else is a
+        // protocol violation and the connection is refused.
+        auto id = decode_hello(*frame, cfg_.n());
+        if (!id || *id == self_) {
+          close_inbound(idx);
+          return;
+        }
+        c.peer = *id;
+        continue;
+      }
+      if (auto p = decode_packet(*frame)) {
+        deliver(c.peer, std::move(*p));
+      }
+      // Well-framed garbage: dropped alone, stream continues.
+    }
+    if (c.decoder.broken()) {
+      // Undelimitable stream: reset the connection (the peer re-dials).
+      close_inbound(idx);
+      return;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Delivery and the loop
+// ----------------------------------------------------------------------
+
+void SocketTransport::deliver(int from, Packet p) {
+  metrics_.packets_delivered++;
+  if (sink_) sink_(from, std::move(p));
+}
+
+void SocketTransport::drain_local() {
+  // Deliveries may enqueue further self-sends; drain until quiescent.
+  while (!local_.empty()) {
+    Packet p = std::move(local_.front());
+    local_.pop_front();
+    deliver(self_, std::move(p));
+  }
+}
+
+int SocketTransport::epoll_timeout(int wait_ms) const {
+  auto now = Clock::now();
+  int timeout = wait_ms;
+  for (int p = 0; p < cfg_.n(); ++p) {
+    if (p == self_) continue;
+    const OutPeer& o = out_[static_cast<std::size_t>(p)];
+    if (o.fd >= 0) continue;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  o.next_attempt - now)
+                  .count();
+    timeout = std::min<long long>(timeout, std::max<long long>(ms, 0));
+  }
+  return timeout;
+}
+
+void SocketTransport::poll(int wait_ms) {
+  drain_local();
+  auto now = Clock::now();
+  for (int p = 0; p < cfg_.n(); ++p) {
+    if (p == self_) continue;
+    OutPeer& o = out_[static_cast<std::size_t>(p)];
+    if (o.fd < 0 && now >= o.next_attempt) start_connect(p);
+    if (o.fd >= 0 && !o.connecting && o.pos < o.buf.size()) flush_out(p);
+  }
+  epoll_event evs[64];
+  int k = epoll_wait(epfd_, evs, 64, epoll_timeout(wait_ms));
+  for (int i = 0; i < k; ++i) {
+    std::uint64_t tag = evs[i].data.u64 & kTagMask;
+    auto idx = evs[i].data.u64 & ~kTagMask;
+    if (tag == kTagListen) {
+      handle_accept();
+    } else if (tag == kTagOut) {
+      int peer = static_cast<int>(idx);
+      OutPeer& o = out_[static_cast<std::size_t>(peer)];
+      if (o.fd < 0) continue;
+      if (evs[i].events & (EPOLLERR | EPOLLHUP)) {
+        drop_out(peer);
+        continue;
+      }
+      if (o.connecting && (evs[i].events & EPOLLOUT)) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(o.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          drop_out(peer);
+          continue;
+        }
+        finish_connect(peer);
+      } else if (evs[i].events & EPOLLOUT) {
+        flush_out(peer);
+      }
+      if (o.fd >= 0 && (evs[i].events & EPOLLIN)) {
+        // Peers never send data on our dialed connections; readable here
+        // means FIN or error.
+        std::uint8_t sink[4096];
+        ssize_t got = ::read(o.fd, sink, sizeof(sink));
+        if (got == 0 || (got < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR)) {
+          drop_out(peer);
+        }
+      }
+    } else if (tag == kTagIn) {
+      if (in_[idx].fd >= 0) handle_inbound(idx);
+    }
+  }
+  drain_local();
+}
+
+bool SocketTransport::run_until(const std::function<bool()>& done,
+                                int timeout_ms) {
+  auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    drain_local();
+    if (done()) return true;
+    auto now = Clock::now();
+    if (now >= deadline) return done();
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count();
+    poll(static_cast<int>(std::min<long long>(left, 50)));
+  }
+}
+
+}  // namespace svss::net

@@ -1,0 +1,117 @@
+// TCP socket backend for the ITransport seam.
+//
+// One SocketTransport is one process's endpoint in a cluster described by a
+// ClusterConfig.  Connection topology: every endpoint binds a listener and
+// *dials* every peer; the dialing side's connection carries its outbound
+// traffic (after a HELLO frame identifying the dialer), and accepted
+// connections are read-only inbound.  Using one direction per ordered pair
+// sidesteps simultaneous-open dedup entirely.
+//
+// The loop is epoll-based and strictly single-threaded: one thread owns
+// one transport and drives poll()/run_until(); send() may only be called
+// from that thread (typically from inside the delivery sink — exactly how
+// Node reacts to packets).  Outbound frames buffer per peer and survive
+// reconnects: a dial that fails retries with exponential backoff
+// (100ms doubling to 2s), and everything not yet written flushes once the
+// connection lands.  Self-sends go through a local queue drained by the
+// poll loop, so a delivery cascade cannot recurse.
+//
+// Metering matches the sim engine byte-for-byte where it can: every sent
+// packet is counted at Packet::wire_size() with per-type attribution
+// (frame overhead is excluded on purpose — the equivalence tests compare
+// these counters against a sim run of the same protocol).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "sim/metrics.hpp"
+
+namespace svss::net {
+
+class SocketTransport final : public ITransport {
+ public:
+  SocketTransport(int self, ClusterConfig cfg);
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- ITransport ---
+  void send(int to, Packet p) override;
+  void broadcast(const Packet& p) override;
+  void set_delivery(Delivery sink) override { sink_ = std::move(sink); }
+  void set_send_hook(SendHook hook) override { hook_ = std::move(hook); }
+  [[nodiscard]] int self() const override { return self_; }
+  [[nodiscard]] int n() const override { return cfg_.n(); }
+
+  // --- lifecycle ---
+  // Binds the listener (port 0 = kernel-assigned) and creates the epoll
+  // instance.  Returns false on any socket-level failure.
+  bool open();
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+  // Replaces a peer's endpoint before dialing starts (loopback clusters
+  // learn kernel-assigned ports only after every listener is open).
+  void set_peer(int id, Endpoint ep);
+
+  // One event-loop iteration: flushes writable peers, waits at most
+  // `wait_ms` for readiness, processes events, drains local deliveries.
+  void poll(int wait_ms);
+  // Drives poll() until done() or `timeout_ms` elapsed; true iff done().
+  bool run_until(const std::function<bool()>& done, int timeout_ms);
+
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Outbound leg toward one peer.
+  struct OutPeer {
+    int fd = -1;
+    bool connecting = false;    // nonblocking connect() in flight
+    Bytes buf;                  // frames queued (survives reconnects)
+    std::size_t pos = 0;        // flushed prefix of buf
+    int backoff_ms = 100;
+    Clock::time_point next_attempt{};  // earliest (re)dial time
+  };
+  // Accepted inbound connection; peer is learned from its HELLO frame.
+  struct InConn {
+    int fd = -1;
+    int peer = -1;
+    FrameDecoder decoder;
+  };
+
+  void queue_frame(int to, const Packet& p);
+  void meter_send(const Packet& p);
+  void start_connect(int peer);
+  void update_out_events(int peer, bool want_write);
+  void finish_connect(int peer);
+  void drop_out(int peer);
+  void flush_out(int peer);
+  void handle_accept();
+  void handle_inbound(std::size_t idx);
+  void close_inbound(std::size_t idx);
+  void drain_local();
+  void deliver(int from, Packet p);
+  [[nodiscard]] int epoll_timeout(int wait_ms) const;
+
+  int self_;
+  ClusterConfig cfg_;
+  Delivery sink_;
+  SendHook hook_;
+  Metrics metrics_;
+
+  int epfd_ = -1;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::vector<OutPeer> out_;              // index = peer id (self unused)
+  std::vector<InConn> in_;                // accepted connections
+  std::deque<Packet> local_;              // self-sends awaiting delivery
+};
+
+}  // namespace svss::net

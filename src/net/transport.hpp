@@ -1,0 +1,106 @@
+// The transport seam: one narrow interface between the protocol stack and
+// whatever moves packets between processes.
+//
+// Every layer above this header (core::Node, the coin/MW batching
+// transports, the adversary strategies) speaks to the network through a
+// Context, and a Context speaks to exactly one ITransport endpoint.  Two
+// backends implement the seam:
+//
+//   * sim::Engine — the deterministic discrete-event simulator.  One
+//     engine hosts all n endpoints (Engine::transport(id)); delivery runs
+//     through the adversarial scheduler, and a run stays a pure function
+//     of (processes, scheduler, seed).  This is the proof-carrying
+//     reference backend: replay is byte-identical, and the equivalence
+//     harness (tests/equivalence_common.hpp) pins any new backend or
+//     framing against it.
+//   * net::SocketTransport — real TCP sockets with epoll readiness loops,
+//     length-prefixed frames reusing the existing Packet serialization,
+//     and per-peer reconnect with backoff.  One endpoint per OS process;
+//     examples/agreement_cluster and examples/coin_service run as
+//     multi-process daemons on top of it.
+//
+// This header sits *below* both backends: it depends only on the wire
+// message model (sim/message.hpp), carries no out-of-line code, and is the
+// only thing a new backend must implement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/message.hpp"
+
+namespace svss {
+
+// One process's sending/receiving endpoint.
+class ITransport {
+ public:
+  // Inbound delivery sink: invoked once per received packet, on the
+  // thread/loop that drives the backend.  Exactly one sink per endpoint.
+  using Delivery = std::function<void(int from, Packet p)>;
+  // Outbound fault-injection hook (the seam's interceptor attachment
+  // point): runs on every packet this endpoint sends, before framing.
+  // May mutate the packet per recipient; returning false drops it.
+  using SendHook = std::function<bool(int to, Packet& p)>;
+
+  virtual ~ITransport() = default;
+
+  // Submits a packet to process `to` over the private channel self -> to.
+  // Sending to self is allowed and is delivered like any other packet.
+  virtual void send(int to, Packet p) = 0;
+  // Convenience: one copy to every process, self included — the same
+  // semantics Context::send_all always had.
+  virtual void broadcast(const Packet& p) = 0;
+
+  virtual void set_delivery(Delivery sink) = 0;
+  virtual void set_send_hook(SendHook hook) = 0;
+
+  [[nodiscard]] virtual int self() const = 0;
+  [[nodiscard]] virtual int n() const = 0;
+};
+
+// ----------------------------------------------------------------------
+// Transport configuration (RunnerConfig::transport, ServiceBuilder)
+// ----------------------------------------------------------------------
+
+// Which backend a Runner-driven experiment runs on.  Multi-process daemons
+// do not appear here: they are built directly (core/service_builder.hpp)
+// because a Runner owns all n slots of a run, while a daemon owns one.
+enum class TransportKind : std::uint8_t {
+  kSim,             // deterministic simulator (default; replayable)
+  kSocketLoopback,  // n in-process endpoints over real TCP on 127.0.0.1,
+                    // one thread per endpoint (non-deterministic schedule)
+};
+
+// Named wire framings for the two batching layers.  kBatched is the
+// measured default (PR 4/5); kPerSession is the unbatched reference
+// framing the equivalence harness compares against.
+enum class Framing : std::uint8_t {
+  kPerSession,  // one message / RBC instance per protocol session
+  kBatched,     // shared envelopes (coin dealing batch, MW group coalesce)
+};
+
+// The transport surface of a run, collapsed into one struct.  Framings are
+// outbound-only knobs: envelopes are always understood inbound, so mixed
+// fleets interoperate, and batched envelopes ride every backend
+// untranslated — the socket framer serializes whatever Packet it is given.
+struct TransportOptions {
+  TransportKind kind = TransportKind::kSim;
+  Framing coin_dealing = Framing::kBatched;
+  Framing mw_children = Framing::kBatched;
+  // Per-slot override of mw_children (mixed-fleet experiments).
+  std::map<int, Framing> mw_children_override;
+
+  [[nodiscard]] bool batched_coin() const {
+    return coin_dealing == Framing::kBatched;
+  }
+  [[nodiscard]] bool batched_mw(int slot) const {
+    auto it = mw_children_override.find(slot);
+    if (it != mw_children_override.end()) {
+      return it->second == Framing::kBatched;
+    }
+    return mw_children == Framing::kBatched;
+  }
+};
+
+}  // namespace svss

@@ -28,18 +28,74 @@ EventLog::recon_outputs(EventKind kind, const SessionId& sid) const {
   return out;
 }
 
-int Context::n() const { return engine_->n(); }
-int Context::t() const { return engine_->t(); }
-Rng& Context::rng() { return engine_->rng_for(self_); }
-EventLog& Context::log() { return engine_->log(); }
+int Context::n() const { return engine_ ? engine_->n() : world_->n; }
+int Context::t() const { return engine_ ? engine_->t() : world_->t; }
+Rng& Context::rng() { return engine_ ? engine_->rng_for(self_) : world_->rng; }
+EventLog& Context::log() { return engine_ ? engine_->log() : world_->log; }
 
-void Context::send(int to, Packet p) { engine_->enqueue(self_, to, std::move(p)); }
+void Context::send(int to, Packet p) {
+  if (engine_) {
+    engine_->enqueue(self_, to, std::move(p));
+    return;
+  }
+  world_->transport->send(to, std::move(p));
+}
 
 void Context::send_all(Packet p) {
-  for (int to = 0; to < engine_->n(); ++to) {
-    engine_->enqueue(self_, to, p);
+  if (engine_) {
+    for (int to = 0; to < engine_->n(); ++to) {
+      engine_->enqueue(self_, to, p);
+    }
+    return;
   }
+  world_->transport->broadcast(p);
 }
+
+// ----------------------------------------------------------------------
+// SimPort: the engine as one slot's ITransport endpoint.  Sends feed the
+// scheduler exactly like Context::send; a registered delivery sink takes
+// the place of the slot's IProcess in deliver_one.
+// ----------------------------------------------------------------------
+class Engine::SimPort final : public ITransport {
+ public:
+  SimPort(Engine& eng, int id) : eng_(&eng), id_(id) {}
+
+  void send(int to, Packet p) override {
+    if (hook_ && !hook_(to, p)) return;
+    eng_->enqueue(id_, to, std::move(p));
+  }
+  void broadcast(const Packet& p) override {
+    for (int to = 0; to < eng_->n(); ++to) {
+      Packet copy = p;
+      if (hook_ && !hook_(to, copy)) continue;
+      eng_->enqueue(id_, to, std::move(copy));
+    }
+  }
+  void set_delivery(Delivery sink) override { sink_ = std::move(sink); }
+  void set_send_hook(SendHook hook) override { hook_ = std::move(hook); }
+  [[nodiscard]] int self() const override { return id_; }
+  [[nodiscard]] int n() const override { return eng_->n(); }
+
+  [[nodiscard]] bool has_sink() const { return static_cast<bool>(sink_); }
+  void deliver(int from, Packet p) { sink_(from, std::move(p)); }
+
+ private:
+  Engine* eng_;
+  int id_;
+  Delivery sink_;
+  SendHook hook_;
+};
+
+ITransport& Engine::transport(int id) {
+  auto idx = static_cast<std::size_t>(id);
+  if (ports_.size() < static_cast<std::size_t>(n_)) {
+    ports_.resize(static_cast<std::size_t>(n_));
+  }
+  if (!ports_.at(idx)) ports_[idx] = std::make_unique<SimPort>(*this, id);
+  return *ports_[idx];
+}
+
+Engine::~Engine() = default;
 
 Engine::Engine(int n, int t, std::uint64_t seed,
                std::unique_ptr<Scheduler> sched)
@@ -214,8 +270,13 @@ void Engine::deliver_one() {
   int from = chosen.from;
   free_slots_.push_back(slot);
 
+  auto ti = static_cast<std::size_t>(to);
+  if (ti < ports_.size() && ports_[ti] && ports_[ti]->has_sink()) {
+    ports_[ti]->deliver(from, std::move(pkt));
+    return;
+  }
   Context ctx(*this, to);
-  procs_[static_cast<std::size_t>(to)]->on_packet(ctx, from, pkt);
+  procs_[ti]->on_packet(ctx, from, pkt);
 }
 
 RunStatus Engine::run(std::uint64_t max_deliveries) {
@@ -227,12 +288,18 @@ RunStatus Engine::run_until(const std::function<bool()>& done,
   if (!started_) {
     started_ = true;
     for (int i = 0; i < n_; ++i) {
-      if (!procs_[static_cast<std::size_t>(i)]) {
+      auto idx = static_cast<std::size_t>(i);
+      if (!procs_[idx]) {
+        // A transport-driven slot has no start hook: whoever registered
+        // the sink injects the slot's initial sends itself.
+        if (idx < ports_.size() && ports_[idx] && ports_[idx]->has_sink()) {
+          continue;
+        }
         throw std::logic_error("Engine: process not set");
       }
       current_depth_ = 0;
       Context ctx(*this, i);
-      procs_[static_cast<std::size_t>(i)]->start(ctx);
+      procs_[idx]->start(ctx);
     }
   }
   std::uint64_t budget = max_deliveries;

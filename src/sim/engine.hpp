@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/transport.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
@@ -70,11 +71,33 @@ class EventLog {
 
 class Engine;
 
+// A single-endpoint world: everything one process needs when it is NOT
+// hosted inside an Engine — its own RNG stream, its own event log, and an
+// ITransport endpoint to reach its peers.  This is what a socket-backed
+// daemon (core/daemon.hpp) builds one of per OS process/thread; the seeding
+// convention (the self-th of Engine's sequential root splits) matches the
+// simulator's exactly, so a daemon fleet started from one seed deals the
+// same values the simulator would.
+struct ProcessWorld {
+  int self = 0;
+  int n = 0;
+  int t = 0;
+  Rng rng{0};
+  EventLog log;
+  ITransport* transport = nullptr;
+};
+
 // Handle through which a process interacts with the world.  Passed to every
-// callback; never stored by processes.
+// callback; never stored by processes.  Backed either by an Engine (the
+// simulator: sends go through the adversarial scheduler) or by a
+// ProcessWorld (a real transport: sends go straight to the seam).  The
+// engine branch is the original code path, untouched — replay stays
+// byte-identical.
 class Context {
  public:
   Context(Engine& engine, int self) : engine_(&engine), self_(self) {}
+  explicit Context(ProcessWorld& world)
+      : world_(&world), self_(world.self) {}
 
   [[nodiscard]] int self() const { return self_; }
   [[nodiscard]] int n() const;
@@ -89,7 +112,8 @@ class Context {
   void send_all(Packet p);
 
  private:
-  Engine* engine_;
+  Engine* engine_ = nullptr;
+  ProcessWorld* world_ = nullptr;
   int self_;
 };
 
@@ -112,9 +136,18 @@ enum class RunStatus {
 class Engine {
  public:
   Engine(int n, int t, std::uint64_t seed, std::unique_ptr<Scheduler> sched);
+  ~Engine();
 
-  // Must be called for every id in [0, n) before run().
+  // Must be called for every id in [0, n) before run() — unless the slot is
+  // driven through its transport() endpoint's delivery sink instead.
   void set_process(int id, std::unique_ptr<IProcess> p);
+
+  // The seam: this engine viewed as process `id`'s ITransport endpoint.
+  // send/broadcast enqueue through the scheduler exactly like Context; a
+  // registered delivery sink receives the slot's packets in place of an
+  // IProcess.  This is how the simulator serves as the reference backend
+  // for code written against the transport interface.
+  ITransport& transport(int id);
 
   // Outbound interceptor for a (faulty) process: inspects/mutates every
   // packet the process sends, per recipient; returning false drops it.
@@ -148,6 +181,7 @@ class Engine {
 
  private:
   friend class Context;
+  class SimPort;
   void enqueue(int from, int to, Packet p);
   void deliver_one();
   [[nodiscard]] bool idle() const { return in_flight_ == 0; }
@@ -191,6 +225,7 @@ class Engine {
   int t_;
   std::unique_ptr<Scheduler> sched_;
   std::vector<std::unique_ptr<IProcess>> procs_;
+  std::vector<std::unique_ptr<SimPort>> ports_;  // lazily created per id
   std::vector<Interceptor> interceptors_;
   std::vector<Rng> rngs_;
   // Arena of in-flight packets: slots are reused through free_slots_, so a
