@@ -1,0 +1,109 @@
+// E10 — agreement throughput under instance multiplexing.
+//
+// PR 8's tentpole claim: k concurrent agreement instances multiplexed
+// over one node/transport stack (SessionId::instance + cross-instance
+// vote batching) decide strictly faster than k sequential single-instance
+// runs, because (a) the per-run stack setup amortizes and (b) votes of
+// different instances and rounds share kAbaBatchVote/kAbaBatchConf
+// envelopes, collapsing the dominant packet class.  Under the ideal coin
+// essentially every byte is an aba-vote, so the coalescing shows directly
+// in the packet attribution counters:
+//
+//   decisions_per_s  — decided instances per wall-clock second (rate)
+//   aba_vote_pkts    — per-run unbatched kAbaVote packets
+//   aba_batch_pkts   — per-run envelope packets (batch vote + batch conf)
+//
+// Three shapes: concurrent batched (the shipped default), concurrent with
+// per-session vote framing (isolates the envelope win from the
+// multiplexing win), and sequential (the pre-PR baseline: one Runner per
+// instance).
+#include "bench_common.hpp"
+
+namespace svss::bench {
+namespace {
+
+void report_aba_attribution(benchmark::State& state, const Metrics& m,
+                            double runs) {
+  auto pkts = [&m](MsgType t) {
+    return static_cast<double>(m.packets_by_type[static_cast<std::size_t>(t)]);
+  };
+  state.counters["aba_vote_pkts"] =
+      benchmark::Counter(pkts(MsgType::kAbaVote) / runs);
+  state.counters["aba_batch_pkts"] = benchmark::Counter(
+      (pkts(MsgType::kAbaBatchVote) + pkts(MsgType::kAbaBatchConf)) / runs);
+}
+
+// k instances in one Runner, decided concurrently over one stack.
+void throughput_concurrent(benchmark::State& state, Framing votes) {
+  int n = static_cast<int>(state.range(0));
+  auto k = static_cast<std::uint32_t>(state.range(1));
+  Metrics total;
+  std::uint64_t decisions = 0;
+  std::uint64_t runs = 0;
+  double violations = 0;
+  for (auto _ : state) {
+    auto cfg = config(n, 8400 + runs * 23);
+    cfg.transport.aba_votes = votes;
+    Runner r(cfg);
+    for (std::uint32_t i = 0; i < k; ++i) r.submit(i, alternating_inputs(n));
+    auto res = r.run_submitted(CoinMode::kIdealCommon);
+    total.merge(res.metrics);
+    if (!res.all_decided || !res.agreed) violations += 1;
+    decisions += res.values.size();
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  report_aba_attribution(state, total, d);
+  state.counters["decisions_per_s"] = benchmark::Counter(
+      static_cast<double>(decisions), benchmark::Counter::kIsRate);
+  state.counters["violations"] = benchmark::Counter(violations);
+}
+
+void BM_ThroughputConcurrent(benchmark::State& state) {
+  throughput_concurrent(state, Framing::kBatched);
+}
+BENCHMARK(BM_ThroughputConcurrent)
+    ->Args({7, 16})->Args({7, 64})->Args({16, 16})
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+void BM_ThroughputConcurrentPerSessionVotes(benchmark::State& state) {
+  throughput_concurrent(state, Framing::kPerSession);
+}
+BENCHMARK(BM_ThroughputConcurrentPerSessionVotes)
+    ->Args({7, 16})
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+// The pre-PR baseline: the same k decisions, one Runner per instance.
+void BM_ThroughputSequential(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto k = static_cast<std::uint32_t>(state.range(1));
+  Metrics total;
+  std::uint64_t decisions = 0;
+  std::uint64_t runs = 0;
+  double violations = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      Runner r(config(n, 8400 + runs * 23 + i));
+      auto res = r.run_aba(alternating_inputs(n), CoinMode::kIdealCommon);
+      total.merge(res.metrics);
+      if (!res.all_decided || !res.agreed) violations += 1;
+      if (res.agreed) ++decisions;
+    }
+    ++runs;
+  }
+  double d = static_cast<double>(runs);
+  report_metrics(state, total, d);
+  report_aba_attribution(state, total, d);
+  state.counters["decisions_per_s"] = benchmark::Counter(
+      static_cast<double>(decisions), benchmark::Counter::kIsRate);
+  state.counters["violations"] = benchmark::Counter(violations);
+}
+BENCHMARK(BM_ThroughputSequential)
+    ->Args({7, 16})
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+}  // namespace
+}  // namespace svss::bench
+
+BENCHMARK_MAIN();

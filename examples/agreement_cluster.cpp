@@ -78,6 +78,15 @@ int run_daemon(int id, const std::string& peers_spec, std::uint64_t seed,
       },
       60'000);
   if (!decided) {
+    if (svss::DaemonService::stop_requested()) {
+      // Supervisor asked us to stop (SIGTERM/SIGINT): report, close the
+      // listener, and exit 0 instead of dying mid-write.
+      std::printf("agreement_cluster[%d]: stopped by signal, msgs=%llu\n", id,
+                  static_cast<unsigned long long>(
+                      replica.transport().metrics().packets_sent));
+      replica.shutdown();
+      return 0;
+    }
     std::printf("agreement_cluster[%d]: TIMEOUT without decision\n", id);
     return 1;
   }
@@ -85,8 +94,15 @@ int run_daemon(int id, const std::string& peers_spec, std::uint64_t seed,
               replica.node().aba()->decision(),
               replica.node().aba()->decision_round());
   std::fflush(stdout);
-  // Stay up so laggard peers can still complete their broadcasts.
+  // Stay up so laggard peers can still complete their broadcasts (a stop
+  // signal cuts the linger short).
   replica.linger(2'000);
+  replica.shutdown();
+  std::printf("agreement_cluster[%d]: shutdown msgs=%llu bytes=%llu\n", id,
+              static_cast<unsigned long long>(
+                  replica.transport().metrics().packets_sent),
+              static_cast<unsigned long long>(
+                  replica.transport().metrics().bytes_sent));
   return 0;
 }
 

@@ -60,6 +60,15 @@ int run_daemon(int id, const std::string& peers_spec, std::uint32_t rounds,
         },
         30'000);
     if (!done) {
+      if (svss::DaemonService::stop_requested()) {
+        std::printf("coin_service[%d]: stopped by signal at round %u, "
+                    "msgs=%llu\n",
+                    id, round,
+                    static_cast<unsigned long long>(
+                        beacon.transport().metrics().packets_sent));
+        beacon.shutdown();
+        return 0;
+      }
       std::printf("coin_service[%d]: round %u TIMEOUT\n", id, round);
       return 1;
     }
@@ -68,6 +77,12 @@ int run_daemon(int id, const std::string& peers_spec, std::uint32_t rounds,
     std::fflush(stdout);
   }
   beacon.linger(2'000);
+  beacon.shutdown();
+  std::printf("coin_service[%d]: shutdown msgs=%llu bytes=%llu\n", id,
+              static_cast<unsigned long long>(
+                  beacon.transport().metrics().packets_sent),
+              static_cast<unsigned long long>(
+                  beacon.transport().metrics().bytes_sent));
   return 0;
 }
 

@@ -7,7 +7,7 @@ namespace {
 constexpr std::uint32_t kMaxRound = kCoinRoundsPerInstance - 1;
 
 SessionId aba_sid(std::uint32_t instance) {
-  return SessionId{SessionPath::kAba, 0, -1, -1, -1, instance};
+  return SessionId{SessionPath::kAba, 0, -1, -1, -1, 0, instance};
 }
 
 Message vote_msg(std::uint32_t instance, std::uint32_t round, int subtype,
@@ -94,8 +94,7 @@ void AbaSession::request_coin(Context& ctx, std::uint32_t r) {
   Round& st = round_state(r);
   switch (mode_) {
     case CoinMode::kSvss:
-      // Coin rounds are namespaced per instance.
-      host_.start_coin(ctx, instance_ * kCoinRoundsPerInstance + r);
+      host_.start_coin(ctx, instance_, r);
       break;
     case CoinMode::kLocal:
       st.coin = ctx.rng().next_bool() ? 1 : 0;
@@ -153,10 +152,9 @@ void AbaSession::on_broadcast(Context& ctx, int origin, const Message& m) {
   if (started_ && r == round_) progress(ctx);
 }
 
-void AbaSession::on_coin(Context& ctx, std::uint32_t global_round, int bit) {
+void AbaSession::on_coin(Context& ctx, std::uint32_t round, int bit) {
   if (mode_ != CoinMode::kSvss) return;
-  if (global_round / kCoinRoundsPerInstance != instance_) return;
-  std::uint32_t round = global_round % kCoinRoundsPerInstance;
+  if (round < 1 || round > kMaxRound) return;
   round_state(round).coin = bit != 0 ? 1 : 0;
   if (started_ && round == round_) progress(ctx);
 }

@@ -52,15 +52,17 @@ class AbaHost {
   virtual ~AbaHost() = default;
   virtual void rb_broadcast(Context& ctx, const Message& m) = 0;
   virtual void send_direct(Context& ctx, int to, Message m) = 0;
-  // Starts the given *global* coin round (kSvss mode).  The result comes
-  // back through AbaSession::on_coin.
-  virtual void start_coin(Context& ctx, std::uint32_t round) = 0;
+  // Starts coin round `round` of agreement instance `instance` (kSvss
+  // mode).  The result comes back through AbaSession::on_coin.
+  virtual void start_coin(Context& ctx, std::uint32_t instance,
+                          std::uint32_t round) = 0;
   virtual void aba_decided(Context& ctx, int value, std::uint32_t round,
                            std::uint32_t instance) = 0;
 };
 
-// Rounds of distinct agreement instances map to disjoint coin rounds:
-// global coin round = instance * kCoinRoundsPerInstance + round.
+// Per-instance round-count ceiling, also used to namespace the ideal-coin
+// seed mix (instance * kCoinRoundsPerInstance + round), so instance 0's
+// bit stream is unchanged from single-instance runs.
 inline constexpr std::uint32_t kCoinRoundsPerInstance = 4096;
 
 class AbaSession {
@@ -76,9 +78,9 @@ class AbaSession {
   // Pre-filtered message entry points.
   void on_direct(Context& ctx, int from, const Message& m);
   void on_broadcast(Context& ctx, int origin, const Message& m);
-  // Coin outcome for a *global* coin round (kSvss mode; ignored in other
-  // modes).  Rounds belonging to other instances are ignored.
-  void on_coin(Context& ctx, std::uint32_t global_round, int bit);
+  // Coin outcome for this instance's round `round` (kSvss mode; ignored in
+  // other modes).  The host dispatches by instance id.
+  void on_coin(Context& ctx, std::uint32_t round, int bit);
 
   [[nodiscard]] std::uint32_t instance() const { return instance_; }
 

@@ -1,0 +1,129 @@
+// Cross-instance ABA vote batching.
+//
+// Once agreement rides a multiplexed session space (SessionId::instance),
+// a node running k concurrent instances emits k independent EST/AUX/DECIDE
+// fan-outs — and k CONF reliable broadcasts — per delivery cascade.  At
+// n = 64 under the ideal coin, essentially every wire byte is an
+// `aba-vote`; per-instance framing pays the fixed per-packet cost k times
+// for votes that leave the same node in the same cascade.
+//
+// This transport coalesces that traffic the way the PR-4 coin batcher
+// coalesces dealing and the PR-5 group transport coalesces MW children: a
+// capture window brackets one delivery cascade, collects the per-session
+// votes the sessions hand to their host, and flushes them at window close
+// as
+//
+//  * kAbaBatchVote (direct): all captured EST/AUX/DECIDE votes bound for
+//    one recipient, concatenated as flat (instance, round, subtype, value)
+//    runs.  One envelope replaces up to k * rounds per-session messages.
+//  * kAbaBatchConf (RB): the captured CONF broadcasts of the cascade, as
+//    flat (instance, round, setcode) runs in one RBC instance per flush.
+//    The shared echo/ready rounds replace one RBC instance per (instance,
+//    round) CONF.
+//
+// Flushing happens in the same delivery that produced the votes — nothing
+// is ever withheld across deliveries — so this is framing, never
+// scheduling policy.  A window that captured exactly one vote for a
+// recipient (or one CONF) re-emits the original per-session message: the
+// envelope framing only kicks in when there is something to share.
+//
+// Receivers unpack an envelope into its per-session kAbaVote messages and
+// feed each through the normal per-instance routing, so every correctness
+// property keeps quantifying over individual AbaSessions (which re-apply
+// full vote validation) and batched/unbatched processes interoperate in
+// one run.  Envelope sids live in the kAba variant-4 space with
+// instance 0; CONF envelopes consume a per-node flush sequence in the
+// counter slot so each flush is its own RBC instance.  Byzantine caveat
+// (mirroring the PR-5 group transport): a faulty node can spread
+// conflicting CONF sets for one (instance, round) across distinct flush
+// envelopes, so batched CONF degrades from reliable-broadcast to
+// plain-broadcast equivocation semantics — agreement safety never rests
+// on CONF non-equivocation (the tier rule tolerates arbitrary CONF sets
+// from t faulty processes), so this widens no attack surface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/message.hpp"
+
+namespace svss {
+
+class AbaVoteBatcher {
+ public:
+  // Sink receiving the per-session messages of an unpacked envelope.
+  using SubMessageSink =
+      std::function<void(Context&, int sender, const Message&, bool via_rb)>;
+  // Emission hooks used at window close: `broadcast` RBs a batch envelope,
+  // `send` delivers a direct envelope to one recipient.
+  struct EmitFns {
+    std::function<void(Context&, const Message&)> broadcast;
+    std::function<void(Context&, int to, Message)> send;
+  };
+
+  AbaVoteBatcher(int self, int n);
+
+  // True for envelope types this transport owns.
+  static bool is_batch_type(MsgType type);
+
+  // --- sender side -------------------------------------------------
+  // The window brackets one delivery cascade (core::Node opens it around
+  // on_packet/start and closes it before returning to the engine).
+  void open_window();
+  [[nodiscard]] bool window_open() const { return window_open_; }
+  // Collects one per-session vote while the window is open; returns false
+  // (caller sends normally) for anything but a well-formed kAbaVote in the
+  // variant-0 agreement space.
+  bool capture_broadcast(const Message& m);
+  bool capture_direct(int to, const Message& m);
+  // Closes a window that captured nothing, skipping the emit plumbing —
+  // the common case for cascades of non-agreement traffic.  Returns false
+  // (and leaves the window open) when there are captures to flush.
+  bool close_window_if_empty();
+  // Emits the captured envelopes (recipients ascending, CONF last) and
+  // closes the window.  Single-vote recipients get the original
+  // per-session message instead of an envelope.
+  void close_window(Context& ctx, const EmitFns& emit);
+
+  // --- receiver side -----------------------------------------------
+  // Splits an envelope into its per-session kAbaVote messages and hands
+  // each to `sink`.  A malformed envelope — wrong transport class, bad sid
+  // shape, ragged runs, out-of-range rounds or subtypes — is dropped
+  // whole, mirroring RBC's treatment of garbage; the sub-messages then
+  // re-enter the exact validation AbaSession applies to unbatched votes.
+  static void unpack(Context& ctx, int sender, const Message& m, bool via_rb,
+                     const SubMessageSink& sink);
+
+ private:
+  // One captured direct vote: the flat-run fields plus the original
+  // message for the single-vote fallback.
+  struct PendingVote {
+    std::uint32_t instance;
+    std::uint32_t round;
+    int subtype;
+    int value;
+  };
+  struct PendingConf {
+    std::uint32_t instance;
+    std::uint32_t round;
+    int setcode;
+  };
+
+  int self_;
+  int n_;
+
+  bool window_open_ = false;
+  std::vector<std::vector<PendingVote>> direct_;  // per recipient
+  std::vector<PendingConf> confs_;                // capture order
+  std::size_t captured_ = 0;
+  // Per-flush RBC instance counter for CONF envelopes, persisted across
+  // windows: each flush is its own RBC instance (sid.counter), so a
+  // straggler flush never collides with an earlier one.  Monotone and
+  // never reset — a reused counter would make an honest node equivocate
+  // against itself.
+  std::uint32_t flush_seq_ = 0;
+};
+
+}  // namespace svss

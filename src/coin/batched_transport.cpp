@@ -7,14 +7,24 @@ namespace svss {
 BatchedSvssTransport::BatchedSvssTransport(int self, int n, int t)
     : self_(self), n_(n), t_(t) {}
 
-SessionId BatchedSvssTransport::batch_sid(std::uint32_t round, int dealer) {
+SessionId BatchedSvssTransport::batch_sid(std::uint32_t round, int dealer,
+                                          std::uint32_t instance) {
   SessionId sid;
   sid.path = SessionPath::kSvssCoin;
   sid.variant = 1;  // envelope, not an individual session
   sid.owner = static_cast<std::int16_t>(dealer);
   sid.counter = round * kMaxN;
+  sid.instance = instance;
   return sid;
 }
+
+namespace {
+
+std::uint64_t round_key(std::uint32_t instance, std::uint32_t round) {
+  return (static_cast<std::uint64_t>(instance) << 32) | round;
+}
+
+}  // namespace
 
 bool BatchedSvssTransport::is_batch_type(MsgType type) {
   return type == MsgType::kSvssBatchShares || type == MsgType::kSvssBatchGset;
@@ -23,8 +33,10 @@ bool BatchedSvssTransport::is_batch_type(MsgType type) {
 // ---------------------------------------------------------------------
 // Dealer side
 // ---------------------------------------------------------------------
-void BatchedSvssTransport::open_window(std::uint32_t round) {
+void BatchedSvssTransport::open_window(std::uint32_t instance,
+                                       std::uint32_t round) {
   window_open_ = true;
+  window_instance_ = instance;
   window_round_ = round;
   pending_vals_.assign(static_cast<std::size_t>(n_), FieldVec{});
   pending_count_.assign(static_cast<std::size_t>(n_), 0);
@@ -33,6 +45,7 @@ void BatchedSvssTransport::open_window(std::uint32_t round) {
 bool BatchedSvssTransport::capture_dealer_shares(int to, const Message& m) {
   if (!window_open_ || m.type != MsgType::kSvssDealerShares ||
       m.sid.path != SessionPath::kSvssCoin || m.sid.owner != self_ ||
+      m.sid.instance != window_instance_ ||
       m.sid.counter / kMaxN != window_round_ || to < 0 || to >= n_) {
     return false;
   }
@@ -56,7 +69,7 @@ void BatchedSvssTransport::close_window(Context& ctx) {
     // size check anyway.
     if (pending_count_[slot] != n_) continue;
     Message m;
-    m.sid = batch_sid(window_round_, self_);
+    m.sid = batch_sid(window_round_, self_, window_instance_);
     m.type = MsgType::kSvssBatchShares;
     m.vals = std::move(pending_vals_[slot]);
     ctx.send(to, make_direct(std::move(m)));
@@ -69,7 +82,7 @@ std::optional<Message> BatchedSvssTransport::capture_gset(const Message& m) {
   std::uint32_t round = m.sid.counter / kMaxN;
   int attachee = static_cast<int>(m.sid.counter % kMaxN);
   if (attachee >= n_) return std::nullopt;
-  GsetParts& parts = gset_rounds_[round];
+  GsetParts& parts = gset_rounds_[round_key(m.sid.instance, round)];
   if (parts.parts.empty()) {
     parts.parts.resize(static_cast<std::size_t>(n_));
   }
@@ -79,7 +92,7 @@ std::optional<Message> BatchedSvssTransport::capture_gset(const Message& m) {
   if (++parts.have < n_) return std::nullopt;
 
   Message batch;
-  batch.sid = batch_sid(round, self_);
+  batch.sid = batch_sid(round, self_, m.sid.instance);
   batch.type = MsgType::kSvssBatchGset;
   Writer w;
   for (const auto& part : parts.parts) {
@@ -87,7 +100,7 @@ std::optional<Message> BatchedSvssTransport::capture_gset(const Message& m) {
     w.bytes(part->second);
   }
   batch.blob = std::move(w).take();
-  gset_rounds_.erase(round);
+  gset_rounds_.erase(round_key(m.sid.instance, round));
   return batch;
 }
 
@@ -102,6 +115,7 @@ void BatchedSvssTransport::unpack(Context& ctx, int n, int t, int sender,
     return;
   }
   std::uint32_t round = m.sid.counter / kMaxN;
+  std::uint32_t instance = m.sid.instance;
   int dealer = m.sid.owner;
 
   if (m.type == MsgType::kSvssBatchShares) {
@@ -111,7 +125,7 @@ void BatchedSvssTransport::unpack(Context& ctx, int n, int t, int sender,
     if (m.vals.size() != static_cast<std::size_t>(n) * per) return;
     for (int j = 0; j < n; ++j) {
       Message sub;
-      sub.sid = coin_svss_id(round, dealer, j);
+      sub.sid = coin_svss_id(round, dealer, j, instance);
       sub.type = MsgType::kSvssDealerShares;
       auto begin = m.vals.begin() + static_cast<std::ptrdiff_t>(j * per);
       sub.vals.assign(begin, begin + static_cast<std::ptrdiff_t>(per));
@@ -133,7 +147,7 @@ void BatchedSvssTransport::unpack(Context& ctx, int n, int t, int sender,
       auto blob = r.bytes();
       if (!ints || !blob) return;
       Message sub;
-      sub.sid = coin_svss_id(round, dealer, j);
+      sub.sid = coin_svss_id(round, dealer, j, instance);
       sub.type = MsgType::kSvssGset;
       sub.ints = std::move(*ints);
       sub.blob = std::move(*blob);

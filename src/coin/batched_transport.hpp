@@ -49,15 +49,16 @@ class BatchedSvssTransport {
 
   BatchedSvssTransport(int self, int n, int t);
 
-  // Session id carried by both envelope types of (round, dealer): the
-  // attachee-0 slot with variant 1 marking "batch envelope".
-  static SessionId batch_sid(std::uint32_t round, int dealer);
+  // Session id carried by both envelope types of (instance, round, dealer):
+  // the attachee-0 slot with variant 1 marking "batch envelope".
+  static SessionId batch_sid(std::uint32_t round, int dealer,
+                             std::uint32_t instance = 0);
   // True for message types this transport owns.
   static bool is_batch_type(MsgType type);
 
   // --- dealer side -------------------------------------------------
   // Capture window around CoinSession::start's dealing loop.
-  void open_window(std::uint32_t round);
+  void open_window(std::uint32_t instance, std::uint32_t round);
   [[nodiscard]] bool window_open() const { return window_open_; }
   // Collects one per-session dealer-shares message while the window is
   // open; returns false (caller sends normally) outside the window or for
@@ -84,6 +85,7 @@ class BatchedSvssTransport {
   int t_;
 
   bool window_open_ = false;
+  std::uint32_t window_instance_ = 0;
   std::uint32_t window_round_ = 0;
   std::vector<FieldVec> pending_vals_;  // [recipient] concatenated shares
   std::vector<int> pending_count_;      // [recipient] sessions captured
@@ -93,7 +95,9 @@ class BatchedSvssTransport {
     // [attachee] -> (G, per-member G_j blob) as broadcast by the session.
     std::vector<std::optional<std::pair<std::vector<int>, Bytes>>> parts;
   };
-  std::map<std::uint32_t, GsetParts> gset_rounds_;  // keyed by round
+  // Keyed by (instance << 32) | round: concurrent instances accumulate
+  // their G-set envelopes independently.
+  std::map<std::uint64_t, GsetParts> gset_rounds_;
 };
 
 }  // namespace svss

@@ -4,18 +4,28 @@
 
 namespace svss {
 
-SessionId coin_svss_id(std::uint32_t round, int dealer, int attachee) {
+SessionId coin_svss_id(std::uint32_t round, int dealer, int attachee,
+                       std::uint32_t instance) {
   SessionId sid;
   sid.path = SessionPath::kSvssCoin;
   sid.owner = static_cast<std::int16_t>(dealer);
   sid.counter = round * kMaxN + static_cast<std::uint32_t>(attachee);
+  sid.instance = instance;
   return sid;
 }
 
+namespace {
+
+SessionId coin_sid(std::uint32_t round, std::uint32_t instance) {
+  return SessionId{SessionPath::kCoin, 0, -1, -1, -1, round, instance};
+}
+
+}  // namespace
+
 CoinSession::CoinSession(CoinHost& host, std::uint32_t round, int self, int n,
-                         int t)
+                         int t, std::uint32_t instance)
     : host_(host), round_(round), self_(self), n_(n), t_(t),
-      share_done_(static_cast<std::size_t>(n)) {}
+      instance_(instance), share_done_(static_cast<std::size_t>(n)) {}
 
 void CoinSession::start(Context& ctx) {
   if (started_) return;
@@ -24,7 +34,7 @@ void CoinSession::start(Context& ctx) {
   // messages into one envelope per recipient.  The sessions themselves run
   // the unmodified dealing code — same RNG consumption, same values — so
   // batched and unbatched runs deal identical polynomials per seed.
-  host_.svss_batch_window(ctx, round_, /*open=*/true);
+  host_.svss_batch_window(ctx, instance_, round_, /*open=*/true);
   for (int j = 0; j < n_; ++j) {
     // Secret attached to j: uniform in {0, .., n-1}.  Sums of attached
     // secrets stay far below the field modulus, so the mod-n coin value of
@@ -32,9 +42,9 @@ void CoinSession::start(Context& ctx) {
     // honest.
     Fp secret(static_cast<std::int64_t>(
         ctx.rng().next_below(static_cast<std::uint64_t>(n_))));
-    host_.svss_child(ctx, coin_svss_id(round_, self_, j)).deal(ctx, secret);
+    host_.svss_child(ctx, coin_svss_id(round_, self_, j, instance_)).deal(ctx, secret);
   }
-  host_.svss_batch_window(ctx, round_, /*open=*/false);
+  host_.svss_batch_window(ctx, instance_, round_, /*open=*/false);
 }
 
 bool CoinSession::dealer_done(int d) const {
@@ -82,7 +92,7 @@ void CoinSession::progress(Context& ctx) {
       done.resize(static_cast<std::size_t>(n_ - t_));
       g_ = done;
       Message m;
-      m.sid = SessionId{SessionPath::kCoin, 0, -1, -1, -1, round_};
+      m.sid = coin_sid(round_, instance_);
       m.type = MsgType::kCoinGset;
       m.ints = g_;
       host_.rb_broadcast(ctx, m);
@@ -113,7 +123,7 @@ void CoinSession::recheck_support(Context& ctx) {
       recon_announced_ = true;
       recon_enabled_ = true;
       Message m;
-      m.sid = SessionId{SessionPath::kCoin, 0, -1, -1, -1, round_};
+      m.sid = coin_sid(round_, instance_);
       m.type = MsgType::kCoinStartRecon;
       host_.rb_broadcast(ctx, m);
     }
@@ -125,7 +135,7 @@ void CoinSession::recheck_support(Context& ctx) {
 void CoinSession::start_reconstructions(Context& ctx) {
   for (const auto& [j, gj] : gsets_) {
     for (int d : gj) {
-      SessionId sid = coin_svss_id(round_, d, j);
+      SessionId sid = coin_svss_id(round_, d, j, instance_);
       if (recon_started_.count(sid) != 0) continue;
       // R may only start after S completed locally.
       if (share_done_[static_cast<std::size_t>(d)].count(j) == 0) continue;
@@ -149,7 +159,7 @@ void CoinSession::try_output(Context& ctx) {
     if (gj == gsets_.end()) return;  // cannot happen: support implies G_j
     std::uint64_t sum = 0;
     for (int d : gj->second) {
-      auto it = values_.find(coin_svss_id(round_, d, j));
+      auto it = values_.find(coin_svss_id(round_, d, j, instance_));
       if (it == values_.end()) return;  // still reconstructing
       // Bottom implies a broken (shunning) session; count it as 0.
       std::uint64_t v = it->second ? it->second->value() : 0;
@@ -159,9 +169,8 @@ void CoinSession::try_output(Context& ctx) {
   }
   output_ = zero_seen ? 0 : 1;
   ctx.log().record(Event{EventKind::kCoinOutput, self_, -1,
-                         SessionId{SessionPath::kCoin, 0, -1, -1, -1, round_},
-                         *output_, true});
-  host_.coin_output(ctx, round_, *output_);
+                         coin_sid(round_, instance_), *output_, true});
+  host_.coin_output(ctx, instance_, round_, *output_);
 }
 
 }  // namespace svss

@@ -36,8 +36,10 @@
 namespace svss {
 
 // Session id of the SVSS invocation in which `dealer` shares the secret
-// attached to process `attachee` during coin round `round`.
-SessionId coin_svss_id(std::uint32_t round, int dealer, int attachee);
+// attached to process `attachee` during coin round `round` of agreement
+// instance `instance` (0 for single-instance runs).
+SessionId coin_svss_id(std::uint32_t round, int dealer, int attachee,
+                       std::uint32_t instance = 0);
 
 class CoinHost {
  public:
@@ -45,14 +47,16 @@ class CoinHost {
   virtual void rb_broadcast(Context& ctx, const Message& m) = 0;
   // Get-or-create the local state machine of a coin-owned SVSS session.
   virtual SvssSession& svss_child(Context& ctx, const SessionId& sid) = 0;
-  virtual void coin_output(Context& ctx, std::uint32_t round, int bit) = 0;
+  virtual void coin_output(Context& ctx, std::uint32_t instance,
+                           std::uint32_t round, int bit) = 0;
   // Batched-dealing capture window (src/coin/batched_transport.hpp):
   // CoinSession::start brackets its dealing loop so a batching host can
   // coalesce the n sessions' share messages.  Hosts without a batched
   // transport ignore it.
-  virtual void svss_batch_window(Context& ctx, std::uint32_t round,
-                                 bool open) {
+  virtual void svss_batch_window(Context& ctx, std::uint32_t instance,
+                                 std::uint32_t round, bool open) {
     (void)ctx;
+    (void)instance;
     (void)round;
     (void)open;
   }
@@ -60,7 +64,8 @@ class CoinHost {
 
 class CoinSession {
  public:
-  CoinSession(CoinHost& host, std::uint32_t round, int self, int n, int t);
+  CoinSession(CoinHost& host, std::uint32_t round, int self, int n, int t,
+              std::uint32_t instance = 0);
 
   // Deals this process's n secrets.  Idempotent; every honest process
   // calls it when it enters the round.
@@ -74,6 +79,7 @@ class CoinSession {
                        std::optional<Fp> value);
 
   [[nodiscard]] std::uint32_t round() const { return round_; }
+  [[nodiscard]] std::uint32_t instance() const { return instance_; }
   [[nodiscard]] bool has_output() const { return output_.has_value(); }
   [[nodiscard]] int output() const { return *output_; }
 
@@ -89,6 +95,7 @@ class CoinSession {
   int self_;
   int n_;
   int t_;
+  std::uint32_t instance_;
 
   bool started_ = false;
   // share_done_[d] = set of attachees whose SVSS from dealer d completed.

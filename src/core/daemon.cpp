@@ -7,7 +7,8 @@ namespace svss {
 
 NodeDaemon::NodeDaemon(int self, int n, int t, std::uint64_t seed,
                        ITransport& tr, const TransportOptions& opts)
-    : node_(self, n, t, opts.batched_coin(), opts.batched_mw(self)) {
+    : node_(self, n, t, opts.batched_coin(), opts.batched_mw(self),
+            opts.batched_votes()) {
   world_.self = self;
   world_.n = n;
   world_.t = t;

@@ -2,7 +2,8 @@
 
 namespace svss {
 
-Node::Node(int self, int n, int t, bool batched_coin, bool batched_mw)
+Node::Node(int self, int n, int t, bool batched_coin, bool batched_mw,
+           bool batched_votes)
     : self_(self), n_(n), t_(t),
       rbc_([this](Context& ctx, int origin, const Message& m) {
         // Accepted broadcasts re-enter routing with the origin as sender;
@@ -21,6 +22,9 @@ Node::Node(int self, int n, int t, bool batched_coin, bool batched_mw)
   }
   if (batched_mw) {
     mw_batch_ = std::make_unique<MwGroupTransport>(self, n, t);
+  }
+  if (batched_votes) {
+    vote_batch_ = std::make_unique<AbaVoteBatcher>(self, n);
   }
 }
 
@@ -45,19 +49,40 @@ void Node::close_mw_window(Context& ctx) {
            });
 }
 
+bool Node::open_vote_window() {
+  if (!vote_batch_ || vote_batch_->window_open()) return false;
+  vote_batch_->open_window();
+  return true;
+}
+
+void Node::close_vote_window(Context& ctx) {
+  if (vote_batch_->close_window_if_empty()) return;
+  vote_batch_->close_window(
+      ctx, AbaVoteBatcher::EmitFns{
+               [this](Context& c, const Message& m) { rbc_.broadcast(c, m); },
+               [](Context& c, int to, Message m) {
+                 c.send(to, make_direct(std::move(m)));
+               },
+           });
+}
+
 void Node::start(Context& ctx) {
   const bool windowed = open_mw_window();
+  const bool vote_windowed = open_vote_window();
   if (start_action_) start_action_(ctx, *this);
+  if (vote_windowed) close_vote_window(ctx);
   if (windowed) close_mw_window(ctx);
 }
 
 void Node::on_packet(Context& ctx, int from, const Packet& p) {
   const bool windowed = open_mw_window();
+  const bool vote_windowed = open_vote_window();
   if (p.is_rb) {
     rbc_.on_transport(ctx, from, p);
   } else {
     route_app(ctx, from, p.app, /*via_rb=*/false);
   }
+  if (vote_windowed) close_vote_window(ctx);
   if (windowed) close_mw_window(ctx);
 }
 
@@ -132,10 +157,29 @@ void Node::route_app(Context& ctx, int sender, const Message& m,
     }
     case SessionPath::kCoin:
       if (via_rb && m.sid.counter <= kMaxN * kMaxN) {
-        coin(ctx, m.sid.counter).on_broadcast(ctx, sender, m);
+        coin(ctx, m.sid.instance, m.sid.counter).on_broadcast(ctx, sender, m);
       }
       return;
     case SessionPath::kAba: {
+      if (AbaVoteBatcher::is_batch_type(m.type)) {
+        // Cross-instance vote envelope: split into the per-session votes
+        // and run each through the normal per-instance path (AbaSession
+        // re-applies the full vote validation).  Understood
+        // unconditionally, so batched and unbatched peers interoperate.
+        AbaVoteBatcher::unpack(
+            ctx, sender, m, via_rb,
+            [this](Context& c, int s, const Message& sub, bool rb) {
+              AbaSession& session = aba_instance(sub.sid.instance);
+              if (rb) {
+                session.on_broadcast(c, s, sub);
+              } else {
+                session.on_direct(c, s, sub);
+              }
+            });
+        return;
+      }
+      // Variant 4 is the vote-envelope sid space; no session lives there.
+      if (m.sid.variant >= 4) return;
       // variant 0 = the SVSS-coin agreement protocol; variant 1 = the
       // Ben-Or baseline (separate message space).
       if (m.sid.variant == 1) {
@@ -162,7 +206,7 @@ void Node::route_app(Context& ctx, int sender, const Message& m,
       }
       // Create the instance lazily with the node's configured coin: ACS
       // instances receive peer votes before this process provides input.
-      AbaSession& session = aba_instance(m.sid.counter);
+      AbaSession& session = aba_instance(m.sid.instance);
       if (via_rb) {
         session.on_broadcast(ctx, sender, m);
       } else {
@@ -224,12 +268,25 @@ SvssSession& Node::svss(Context& ctx, const SessionId& sid) {
   return *slot;
 }
 
+namespace {
+std::uint64_t coin_key(std::uint32_t instance, std::uint32_t round) {
+  return (static_cast<std::uint64_t>(instance) << 32) | round;
+}
+}  // namespace
+
 CoinSession& Node::coin(Context& ctx, std::uint32_t round) {
+  return coin(ctx, 0, round);
+}
+
+CoinSession& Node::coin(Context& ctx, std::uint32_t instance,
+                        std::uint32_t round) {
   (void)ctx;
-  auto it = coins_.find(round);
+  auto key = coin_key(instance, round);
+  auto it = coins_.find(key);
   if (it == coins_.end()) {
-    it = coins_.emplace(round, std::make_unique<CoinSession>(*this, round,
-                                                             self_, n_, t_))
+    it = coins_
+             .emplace(key, std::make_unique<CoinSession>(*this, round, self_,
+                                                         n_, t_, instance))
              .first;
   }
   return *it->second;
@@ -239,7 +296,14 @@ void Node::start_aba(Context& ctx, int input, CoinMode mode,
                      std::uint64_t common_seed, std::uint32_t instance) {
   aba_mode_ = mode;
   aba_seed_ = common_seed;
+  // Bracket with the capture windows so out-of-cascade submissions (a
+  // daemon's submit() between polls) still get batched framing; inside a
+  // delivery cascade the windows are already open and these are no-ops.
+  const bool windowed = open_mw_window();
+  const bool vote_windowed = open_vote_window();
   aba_instance(instance).start(ctx, input);
+  if (vote_windowed) close_vote_window(ctx);
+  if (windowed) close_mw_window(ctx);
 }
 
 AbaSession& Node::aba_instance(std::uint32_t instance) {
@@ -361,7 +425,12 @@ const SvssSession* Node::find_svss(const SessionId& sid) const {
 }
 
 const CoinSession* Node::find_coin(std::uint32_t round) const {
-  auto it = coins_.find(round);
+  return find_coin(0, round);
+}
+
+const CoinSession* Node::find_coin(std::uint32_t instance,
+                                   std::uint32_t round) const {
+  auto it = coins_.find(coin_key(instance, round));
   return it == coins_.end() ? nullptr : it->second.get();
 }
 
@@ -369,6 +438,12 @@ const CoinSession* Node::find_coin(std::uint32_t round) const {
 // Host plumbing
 // ---------------------------------------------------------------------
 void Node::rb_broadcast(Context& ctx, const Message& m) {
+  if (vote_batch_ && vote_batch_->window_open() &&
+      vote_batch_->capture_broadcast(m)) {
+    // Coalesced into the cascade's kAbaBatchConf envelope; flushed when
+    // the vote window closes.
+    return;
+  }
   if (mw_batch_ && mw_batch_->window_open() &&
       mw_batch_->capture_broadcast(m)) {
     // Coalesced into the group's kMwBatch* envelope; flushed when the
@@ -389,6 +464,10 @@ void Node::rb_broadcast(Context& ctx, const Message& m) {
 }
 
 void Node::send_direct(Context& ctx, int to, Message m) {
+  if (vote_batch_ && vote_batch_->window_open() &&
+      vote_batch_->capture_direct(to, m)) {
+    return;
+  }
   if (mw_batch_ && mw_batch_->window_open() &&
       mw_batch_->capture_direct(to, m)) {
     return;
@@ -397,10 +476,11 @@ void Node::send_direct(Context& ctx, int to, Message m) {
   ctx.send(to, make_direct(std::move(m)));
 }
 
-void Node::svss_batch_window(Context& ctx, std::uint32_t round, bool open) {
+void Node::svss_batch_window(Context& ctx, std::uint32_t instance,
+                             std::uint32_t round, bool open) {
   if (!batch_) return;
   if (open) {
-    batch_->open_window(round);
+    batch_->open_window(instance, round);
   } else {
     batch_->close_window(ctx);
   }
@@ -434,7 +514,8 @@ void Node::mw_recon_output(Context& ctx, const SessionId& sid,
 
 void Node::svss_share_completed(Context& ctx, const SessionId& sid) {
   if (sid.path == SessionPath::kSvssCoin) {
-    coin(ctx, sid.counter / kMaxN).on_child_share_complete(ctx, sid);
+    coin(ctx, sid.instance, sid.counter / kMaxN)
+        .on_child_share_complete(ctx, sid);
   }
   if (sum_ && sid.path == SessionPath::kSvssTop &&
       sid.counter >= kSumCounterBase) {
@@ -446,19 +527,24 @@ void Node::svss_share_completed(Context& ctx, const SessionId& sid) {
 void Node::svss_recon_output(Context& ctx, const SessionId& sid,
                              std::optional<Fp> value) {
   if (sid.path == SessionPath::kSvssCoin) {
-    coin(ctx, sid.counter / kMaxN).on_child_output(ctx, sid, value);
+    coin(ctx, sid.instance, sid.counter / kMaxN).on_child_output(ctx, sid,
+                                                                 value);
   }
   if (observers.svss_output) observers.svss_output(ctx, sid, value);
 }
 
-void Node::coin_output(Context& ctx, std::uint32_t round, int bit) {
-  auto it = abas_.find(round / kCoinRoundsPerInstance);
+void Node::coin_output(Context& ctx, std::uint32_t instance,
+                       std::uint32_t round, int bit) {
+  auto it = abas_.find(instance);
   if (it != abas_.end()) it->second->on_coin(ctx, round, bit);
-  if (observers.coin_output) observers.coin_output(ctx, round, bit);
+  if (instance == 0 && observers.coin_output) {
+    observers.coin_output(ctx, round, bit);
+  }
 }
 
-void Node::start_coin(Context& ctx, std::uint32_t round) {
-  coin(ctx, round).start(ctx);
+void Node::start_coin(Context& ctx, std::uint32_t instance,
+                      std::uint32_t round) {
+  coin(ctx, instance, round).start(ctx);
 }
 
 void Node::aba_decided(Context& ctx, int value, std::uint32_t round,

@@ -25,6 +25,7 @@
 
 #include "aba/aba.hpp"
 #include "aba/local_coin_aba.hpp"
+#include "aba/vote_batch.hpp"
 #include "aba/multivalued.hpp"
 #include "acs/acs.hpp"
 #include "asmpc/secure_sum.hpp"
@@ -48,6 +49,7 @@ struct NodeObservers {
   std::function<void(Context&, const SessionId&)> svss_share_complete;
   std::function<void(Context&, const SessionId&, std::optional<Fp>)>
       svss_output;
+  // Coin outputs of agreement instance 0 / standalone coin rounds.
   std::function<void(Context&, std::uint32_t, int)> coin_output;
   std::function<void(Context&, int, std::uint32_t)> aba_decided;
 };
@@ -64,11 +66,13 @@ class Node : public IProcess,
   // `batched_coin` multiplexes the n coin-owned SVSS sessions per round
   // over the shared transport envelopes (src/coin/batched_transport.hpp);
   // `batched_mw` coalesces the coin-nested MW-SVSS child traffic under
-  // group envelopes (src/mwsvss/group_transport.hpp).  Inbound envelopes
-  // are always understood, so batched and unbatched nodes interoperate;
-  // the flags only select this node's *own* outbound framing.
+  // group envelopes (src/mwsvss/group_transport.hpp); `batched_votes`
+  // coalesces agreement votes across concurrent instances and rounds
+  // (src/aba/vote_batch.hpp).  Inbound envelopes are always understood,
+  // so batched and unbatched nodes interoperate; the flags only select
+  // this node's *own* outbound framing.
   Node(int self, int n, int t, bool batched_coin = true,
-       bool batched_mw = true);
+       bool batched_mw = true, bool batched_votes = true);
 
   // Invoked once by the engine before any delivery; used by runners to
   // kick off deals / agreement inputs.
@@ -83,7 +87,10 @@ class Node : public IProcess,
   // --- session access (get-or-create) ---
   MwSvssSession& mw(Context& ctx, const SessionId& sid);
   SvssSession& svss(Context& ctx, const SessionId& sid);
+  // Instance-0 convenience (single-instance drivers) and the general form.
   CoinSession& coin(Context& ctx, std::uint32_t round);
+  CoinSession& coin(Context& ctx, std::uint32_t instance,
+                    std::uint32_t round);
   void start_aba(Context& ctx, int input, CoinMode mode,
                  std::uint64_t common_seed = 0, std::uint32_t instance = 0);
   void start_benor(Context& ctx, int input);
@@ -102,6 +109,8 @@ class Node : public IProcess,
   [[nodiscard]] const MwSvssSession* find_mw(const SessionId& sid) const;
   [[nodiscard]] const SvssSession* find_svss(const SessionId& sid) const;
   [[nodiscard]] const CoinSession* find_coin(std::uint32_t round) const;
+  [[nodiscard]] const CoinSession* find_coin(std::uint32_t instance,
+                                             std::uint32_t round) const;
   [[nodiscard]] AbaSession* aba(std::uint32_t instance = 0);
   [[nodiscard]] const AbaSession* aba(std::uint32_t instance = 0) const;
   [[nodiscard]] BenOrSession* benor() { return benor_.get(); }
@@ -133,10 +142,12 @@ class Node : public IProcess,
   void svss_recon_output(Context& ctx, const SessionId& sid,
                          std::optional<Fp> value) override;
   SvssSession& svss_child(Context& ctx, const SessionId& sid) override;
-  void coin_output(Context& ctx, std::uint32_t round, int bit) override;
-  void svss_batch_window(Context& ctx, std::uint32_t round,
-                         bool open) override;
-  void start_coin(Context& ctx, std::uint32_t round) override;
+  void coin_output(Context& ctx, std::uint32_t instance, std::uint32_t round,
+                   int bit) override;
+  void svss_batch_window(Context& ctx, std::uint32_t instance,
+                         std::uint32_t round, bool open) override;
+  void start_coin(Context& ctx, std::uint32_t instance,
+                  std::uint32_t round) override;
   void aba_decided(Context& ctx, int value, std::uint32_t round,
                    std::uint32_t instance) override;
   void acs_start_aba(Context& ctx, std::uint32_t instance, int input) override;
@@ -162,6 +173,9 @@ class Node : public IProcess,
   // the caller owns the matching close.
   bool open_mw_window();
   void close_mw_window(Context& ctx);
+  // Same bracketing for the cross-instance agreement-vote batcher.
+  bool open_vote_window();
+  void close_vote_window(Context& ctx);
   AbaSession& aba_instance(std::uint32_t instance);
   [[nodiscard]] bool sane_sid(const SessionId& sid) const;
 
@@ -174,11 +188,14 @@ class Node : public IProcess,
   std::unique_ptr<BatchedSvssTransport> batch_;
   // Present iff this node coalesces its coin-nested MW child traffic.
   std::unique_ptr<MwGroupTransport> mw_batch_;
+  // Present iff this node coalesces agreement votes across instances.
+  std::unique_ptr<AbaVoteBatcher> vote_batch_;
   // Flat tables (common/flat_map.hpp): session lookup is the per-delivery
   // routing cost, so these sit on the hot path.  Sessions are never erased.
   FlatMap<SessionId, std::unique_ptr<MwSvssSession>, SessionIdHash> mw_;
   FlatMap<SessionId, std::unique_ptr<SvssSession>, SessionIdHash> svss_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<CoinSession>> coins_;
+  // Keyed by (instance << 32) | round.
+  std::unordered_map<std::uint64_t, std::unique_ptr<CoinSession>> coins_;
   std::unordered_map<std::uint32_t, std::unique_ptr<AbaSession>> abas_;
   std::unique_ptr<BenOrSession> benor_;
   std::unique_ptr<AcsSession> acs_;

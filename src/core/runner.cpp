@@ -108,7 +108,8 @@ Runner::Runner(RunnerConfig cfg)
     }
     auto node = std::make_unique<Node>(i, cfg_.n, cfg_.t,
                                        cfg_.transport.batched_coin(),
-                                       batched_mw);
+                                       batched_mw,
+                                       cfg_.transport.batched_votes());
     nodes_[static_cast<std::size_t>(i)] = node.get();
     engine_.set_process(i, std::move(node));
     if (wire) engine_.set_interceptor(i, std::move(wire));
@@ -463,6 +464,129 @@ Runner::AbaResult Runner::run_aba(const std::vector<int>& inputs,
   }
   res.shun_pairs = honest_shun_pairs();
   res.metrics = engine_.metrics();
+  return res;
+}
+
+void Runner::submit(std::uint32_t instance, std::vector<int> inputs) {
+  if (static_cast<int>(inputs.size()) != cfg_.n) {
+    throw std::invalid_argument("submit: need one input per process");
+  }
+  if (!submitted_.emplace(instance, std::move(inputs)).second) {
+    throw std::invalid_argument("submit: instance already queued");
+  }
+}
+
+namespace {
+
+// Shared result collection for both backends: `get` maps a process id to
+// its (possibly remote) Node.
+Runner::MultiAbaResult collect_submitted(
+    const std::map<std::uint32_t, std::vector<int>>& submitted,
+    const std::vector<int>& honest, const std::function<Node&(int)>& get) {
+  Runner::MultiAbaResult res;
+  res.all_decided = true;
+  for (const auto& [instance, inputs] : submitted) {
+    (void)inputs;
+    std::map<int, int>& per = res.decisions[instance];
+    for (int i : honest) {
+      const AbaSession* a = get(i).aba(instance);
+      if (a != nullptr && a->decided()) {
+        per.emplace(i, a->decision());
+      } else {
+        res.all_decided = false;
+      }
+    }
+    if (!per.empty()) {
+      bool same = true;
+      for (const auto& [i, v] : per) {
+        if (v != per.begin()->second) same = false;
+      }
+      if (same && static_cast<int>(per.size()) ==
+                      static_cast<int>(honest.size())) {
+        res.values.emplace(instance, per.begin()->second);
+      }
+    }
+  }
+  res.agreed = res.all_decided && !submitted.empty() &&
+               res.values.size() == submitted.size();
+  return res;
+}
+
+}  // namespace
+
+Runner::MultiAbaResult Runner::run_submitted(CoinMode mode) {
+  if (submitted_.empty()) {
+    throw std::invalid_argument("run_submitted: no instances submitted");
+  }
+  if (cfg_.transport.kind == TransportKind::kSocketLoopback) {
+    return run_submitted_loopback(mode);
+  }
+  std::uint64_t coin_seed = cfg_.seed ^ 0xC01Full;
+  for (int i = 0; i < cfg_.n; ++i) {
+    // One start action kicks off every submitted instance on this node;
+    // their initial EST fan-outs share the cascade's vote envelopes.
+    std::vector<std::pair<std::uint32_t, int>> starts;
+    for (const auto& [instance, inputs] : submitted_) {
+      starts.emplace_back(instance, inputs[static_cast<std::size_t>(i)]);
+    }
+    set_slot_start(i, [starts, mode, coin_seed](Context& c, Node& nd) {
+      for (const auto& [instance, input] : starts) {
+        nd.start_aba(c, input, mode, coin_seed, instance);
+      }
+    });
+  }
+  MultiAbaResult res;
+  const std::map<std::uint32_t, std::vector<int>>& submitted = submitted_;
+  res.status = run_until_honest([&submitted](const Node& nd) {
+    for (const auto& [instance, inputs] : submitted) {
+      const AbaSession* a = nd.aba(instance);
+      if (a == nullptr || !a->decided()) return false;
+    }
+    return true;
+  });
+  MultiAbaResult collected = collect_submitted(
+      submitted_, honest_ids(), [this](int i) -> Node& { return node(i); });
+  collected.status = res.status;
+  collected.metrics = engine_.metrics();
+  submitted_.clear();
+  return collected;
+}
+
+Runner::MultiAbaResult Runner::run_submitted_loopback(CoinMode mode) {
+  std::uint64_t coin_seed = cfg_.seed ^ 0xC01Full;
+  LoopbackCluster cluster(loopback_options(cfg_));
+  for (int i = 0; i < cfg_.n; ++i) {
+    std::vector<std::pair<std::uint32_t, int>> starts;
+    for (const auto& [instance, inputs] : submitted_) {
+      starts.emplace_back(instance, inputs[static_cast<std::size_t>(i)]);
+    }
+    cluster.node(i).set_start_action(
+        [starts, mode, coin_seed](Context& c, Node& nd) {
+          for (const auto& [instance, input] : starts) {
+            nd.start_aba(c, input, mode, coin_seed, instance);
+          }
+        });
+  }
+  const std::map<std::uint32_t, std::vector<int>>& submitted = submitted_;
+  bool finished = cluster.run(
+      [&submitted](const Node& nd) {
+        for (const auto& [instance, inputs] : submitted) {
+          const AbaSession* a = nd.aba(instance);
+          if (a == nullptr || !a->decided()) return false;
+        }
+        return true;
+      },
+      [this](int i) { return is_honest(i); });
+  MultiAbaResult res = collect_submitted(
+      submitted_, honest_ids(),
+      [&cluster](int i) -> Node& { return cluster.node(i); });
+  res.status = finished ? RunStatus::kQuiescent : RunStatus::kDeliveryCap;
+  EventLog merged = cluster.merged_log();
+  for (const Event& e : merged.events()) {
+    engine_.log().record(e);
+  }
+  res.metrics = cluster.merged_metrics();
+  submitted_.clear();
   return res;
 }
 

@@ -137,6 +137,31 @@ class Runner {
                     CoinMode mode = CoinMode::kSvss);
   AbaResult run_benor(const std::vector<int>& inputs);
 
+  // ------------------------------------------------------------------
+  // Multi-instance agreement: many concurrent instances, one stack
+  // ------------------------------------------------------------------
+  // Queues agreement instance `instance` with one input per process
+  // (inputs.size() must be n).  All queued instances start together in
+  // run_submitted(), multiplexed over the same nodes and transport —
+  // their votes share session space via SessionId::instance and, under
+  // the default framing, the same kAbaBatchVote envelopes.  Do not mix
+  // with run_acs in one Runner: the ACS layer owns instances [0, n).
+  void submit(std::uint32_t instance, std::vector<int> inputs);
+
+  struct MultiAbaResult {
+    // instance -> honest id -> decision.
+    std::map<std::uint32_t, std::map<int, int>> decisions;
+    // instance -> the agreed value (populated iff that instance agreed).
+    std::map<std::uint32_t, int> values;
+    bool all_decided = false;  // every honest node decided every instance
+    bool agreed = false;       // ... and per-instance decisions match
+    Metrics metrics;
+    RunStatus status = RunStatus::kQuiescent;
+  };
+  // Drives every submitted instance to decision concurrently (sim or
+  // socket-loopback backend, like run_aba).  Consumes the queue.
+  MultiAbaResult run_submitted(CoinMode mode = CoinMode::kIdealCommon);
+
   struct AcsResult {
     std::map<int, std::vector<std::pair<int, Bytes>>> outputs;  // honest
     bool all_output = false;
@@ -185,6 +210,9 @@ class Runner {
   // Socket-loopback driver bodies (core/daemon.hpp clusters).
   CoinResult run_coin_loopback(std::uint32_t round);
   AbaResult run_aba_loopback(const std::vector<int>& inputs, CoinMode mode);
+  MultiAbaResult run_submitted_loopback(CoinMode mode);
+
+  std::map<std::uint32_t, std::vector<int>> submitted_;
 
   RunnerConfig cfg_;
   Engine engine_;

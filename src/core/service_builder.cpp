@@ -13,9 +13,14 @@ DaemonService::DaemonService(int self, int n, int t, std::uint64_t seed,
 
 bool DaemonService::start() {
   if (!transport_->open()) return false;
+  net::install_stop_handlers();
   daemon_->start();
   return true;
 }
+
+bool DaemonService::stop_requested() { return net::stop_requested(); }
+
+void DaemonService::shutdown() { transport_->shutdown(); }
 
 bool DaemonService::run_until(const std::function<bool()>& pred,
                               int timeout_ms) {
@@ -24,6 +29,12 @@ bool DaemonService::run_until(const std::function<bool()>& pred,
 
 void DaemonService::linger(int linger_ms) {
   transport_->run_until([] { return false; }, linger_ms);
+}
+
+void DaemonService::submit(std::uint32_t instance, int input, CoinMode mode,
+                           std::uint64_t common_seed) {
+  Context c = ctx();
+  node().start_aba(c, input, mode, common_seed, instance);
 }
 
 RunnerConfig ServiceBuilder::runner_config() const {

@@ -38,14 +38,34 @@ class DaemonService {
   Context ctx() { return Context(daemon_->world()); }
   net::SocketTransport& transport() { return *transport_; }
 
-  // Binds the listener and runs the node's start hook.  False on bind
-  // failure (port taken, bad address).
+  // Binds the listener, installs SIGTERM/SIGINT stop handlers, and runs
+  // the node's start hook.  False on bind failure (port taken, bad
+  // address).  The handlers make run_until()/linger() return early when a
+  // supervisor signals the process, so daemon mains can shut down
+  // cleanly instead of dying mid-write.
   bool start();
-  // Drives the socket loop until pred() or the timeout; true iff pred().
+  // Drives the socket loop until pred(), the timeout, or stop_requested();
+  // true iff pred().
   bool run_until(const std::function<bool()>& pred, int timeout_ms);
   // Keeps relaying for `linger_ms` after this slot is done, so peers that
-  // still need our RB echoes/readies can finish too.
+  // still need our RB echoes/readies can finish too.  Cut short by
+  // stop_requested().
   void linger(int linger_ms);
+  // True once the process received SIGTERM/SIGINT (after start()).
+  [[nodiscard]] static bool stop_requested();
+  // Flushes what the connections will take, then closes the listener and
+  // every socket.  Idempotent; the destructor closes too, but calling
+  // this first frees the port before any final reporting the main does.
+  void shutdown();
+
+  // Starts agreement instance `instance` with this process's binary
+  // input.  Instances submitted between polls multiplex over the one
+  // transport; every fleet member must submit the same instance (with
+  // its own input) and use the same mode/seed.  Drive with run_until
+  // checking node().aba(instance)->decided().
+  void submit(std::uint32_t instance, int input,
+              CoinMode mode = CoinMode::kIdealCommon,
+              std::uint64_t common_seed = 0);
 
  private:
   std::unique_ptr<net::SocketTransport> transport_;
@@ -80,6 +100,10 @@ class ServiceBuilder {
   }
   ServiceBuilder& mw_framing(Framing value) {
     options_.mw_children = value;
+    return *this;
+  }
+  ServiceBuilder& vote_framing(Framing value) {
+    options_.aba_votes = value;
     return *this;
   }
   ServiceBuilder& fault(int id, ByzConfig behaviour) {

@@ -17,6 +17,7 @@ void write_sid(Writer& w, const SessionId& sid) {
   w.i32(sid.moderator);
   w.i32(sid.svss_dealer);
   w.u32(sid.counter);
+  w.u32(sid.instance);
 }
 
 std::optional<SessionId> read_sid(Reader& r) {
@@ -26,7 +27,9 @@ std::optional<SessionId> read_sid(Reader& r) {
   auto moderator = r.i32();
   auto svss_dealer = r.i32();
   auto counter = r.u32();
-  if (!path || !variant || !owner || !moderator || !svss_dealer || !counter) {
+  auto instance = r.u32();
+  if (!path || !variant || !owner || !moderator || !svss_dealer || !counter ||
+      !instance) {
     return std::nullopt;
   }
   if (*path > static_cast<std::uint8_t>(SessionPath::kTest)) return std::nullopt;
@@ -37,6 +40,7 @@ std::optional<SessionId> read_sid(Reader& r) {
   sid.moderator = static_cast<std::int16_t>(*moderator);
   sid.svss_dealer = static_cast<std::int16_t>(*svss_dealer);
   sid.counter = *counter;
+  sid.instance = *instance;
   return sid;
 }
 

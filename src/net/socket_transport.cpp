@@ -7,10 +7,32 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cassert>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 namespace svss::net {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_flag = 0;
+
+void on_stop_signal(int) { g_stop_flag = 1; }
+
+}  // namespace
+
+void install_stop_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked epoll_wait must wake
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+bool stop_requested() { return g_stop_flag != 0; }
 
 namespace {
 
@@ -174,10 +196,13 @@ void SocketTransport::finish_connect(int peer) {
   o.connecting = false;
   o.backoff_ms = 100;
   update_out_events(peer, false);
-  // The HELLO must precede everything queued so far on this connection.
+  // On a fresh connection nothing is flushed past the last frame boundary
+  // (drop_out rewinds pos there), so the HELLO slots in right at it and
+  // precedes every frame this connection will carry.
+  assert(o.pos == o.frame_base);
   Bytes hello;
   append_hello_frame(hello, self_);
-  o.buf.insert(o.buf.begin() + static_cast<std::ptrdiff_t>(o.pos),
+  o.buf.insert(o.buf.begin() + static_cast<std::ptrdiff_t>(o.frame_base),
                hello.begin(), hello.end());
   flush_out(peer);
 }
@@ -190,8 +215,30 @@ void SocketTransport::drop_out(int peer) {
     o.fd = -1;
   }
   o.connecting = false;
+  // A partial write leaves pos mid-frame.  The next connection's receiver
+  // starts a fresh frame stream, so resend must restart at a frame
+  // boundary — resuming mid-frame would feed it a frame *tail* as a
+  // length prefix and latch a stream error.
+  o.pos = o.frame_base;
   o.next_attempt = Clock::now() + std::chrono::milliseconds(o.backoff_ms);
   o.backoff_ms = std::min(o.backoff_ms * 2, 2000);
+}
+
+// Advances frame_base past every completely flushed frame.  Frames are
+// self-delimiting ([u32 len][len bytes]), so the boundary is recoverable
+// from buf alone.
+void SocketTransport::advance_frame_base(OutPeer& o) {
+  while (o.frame_base + 4 <= o.pos) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(o.buf[o.frame_base +
+                                              static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    std::size_t frame = 4 + static_cast<std::size_t>(len);
+    if (o.frame_base + frame > o.pos) break;
+    o.frame_base += frame;
+  }
 }
 
 void SocketTransport::flush_out(int peer) {
@@ -201,6 +248,7 @@ void SocketTransport::flush_out(int peer) {
     ssize_t wrote = ::write(o.fd, o.buf.data() + o.pos, o.buf.size() - o.pos);
     if (wrote > 0) {
       o.pos += static_cast<std::size_t>(wrote);
+      advance_frame_base(o);
       continue;
     }
     if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -218,6 +266,7 @@ void SocketTransport::flush_out(int peer) {
     if (o.pos > (1u << 16)) {
       o.buf.clear();
       o.pos = 0;
+      o.frame_base = 0;
     }
   }
 }
@@ -328,7 +377,36 @@ int SocketTransport::epoll_timeout(int wait_ms) const {
   return timeout;
 }
 
+void SocketTransport::shutdown() {
+  if (closed_) return;
+  // Give each live connection one last chance to drain its queue — a
+  // decided replica often holds the tail of its final RB echoes here.
+  for (int p = 0; p < cfg_.n(); ++p) {
+    OutPeer& o = out_[static_cast<std::size_t>(p)];
+    if (o.fd >= 0 && !o.connecting && o.pos < o.buf.size()) flush_out(p);
+  }
+  closed_ = true;  // after the flush: flush_out may drop_out -> redial arm
+  for (auto& o : out_) {
+    if (o.fd >= 0) {
+      ::close(o.fd);  // close() detaches the fd from epfd_ too
+      o.fd = -1;
+    }
+  }
+  for (auto& c : in_) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  local_.clear();
+}
+
 void SocketTransport::poll(int wait_ms) {
+  if (closed_) return;
   drain_local();
   auto now = Clock::now();
   for (int p = 0; p < cfg_.n(); ++p) {
@@ -387,6 +465,7 @@ bool SocketTransport::run_until(const std::function<bool()>& done,
   for (;;) {
     drain_local();
     if (done()) return true;
+    if (closed_ || stop_requested()) return false;
     auto now = Clock::now();
     if (now >= deadline) return done();
     auto left = std::chrono::duration_cast<std::chrono::milliseconds>(

@@ -35,6 +35,16 @@
 
 namespace svss::net {
 
+// Process-wide SIGTERM/SIGINT plumbing for socket daemons.  The handler
+// only sets a sig_atomic_t flag (async-signal-safe); run_until() polls it
+// and returns early, so the daemon's main loop regains control and can
+// shut down cleanly — close the listener, flush metrics, exit 0 — instead
+// of dying mid-write when a supervisor (or the smoke script's cleanup
+// trap) kills the fleet.  Handlers install without SA_RESTART so a
+// blocked epoll_wait wakes with EINTR immediately.
+void install_stop_handlers();
+[[nodiscard]] bool stop_requested();
+
 class SocketTransport final : public ITransport {
  public:
   SocketTransport(int self, ClusterConfig cfg);
@@ -62,8 +72,14 @@ class SocketTransport final : public ITransport {
   // One event-loop iteration: flushes writable peers, waits at most
   // `wait_ms` for readiness, processes events, drains local deliveries.
   void poll(int wait_ms);
-  // Drives poll() until done() or `timeout_ms` elapsed; true iff done().
+  // Drives poll() until done(), `timeout_ms` elapsed, or stop_requested();
+  // true iff done().
   bool run_until(const std::function<bool()>& done, int timeout_ms);
+  // Clean teardown: best-effort flush of pending outbound frames, then
+  // closes the listener and every connection.  After shutdown() the
+  // transport is inert — poll()/run_until() return without redialing, so
+  // the port is free the moment this returns, not at destructor time.
+  void shutdown();
 
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
 
@@ -76,6 +92,12 @@ class SocketTransport final : public ITransport {
     bool connecting = false;    // nonblocking connect() in flight
     Bytes buf;                  // frames queued (survives reconnects)
     std::size_t pos = 0;        // flushed prefix of buf
+    // Offset of the first frame not yet *completely* flushed.  `pos` may
+    // sit mid-frame after a partial write; resuming a new connection from
+    // there would replay a frame tail the receiver parses as a fresh
+    // length prefix (desync -> stream-error latch).  Reconnects therefore
+    // rewind pos to this boundary and resend the whole frame.
+    std::size_t frame_base = 0;
     int backoff_ms = 100;
     Clock::time_point next_attempt{};  // earliest (re)dial time
   };
@@ -92,6 +114,7 @@ class SocketTransport final : public ITransport {
   void update_out_events(int peer, bool want_write);
   void finish_connect(int peer);
   void drop_out(int peer);
+  static void advance_frame_base(OutPeer& o);
   void flush_out(int peer);
   void handle_accept();
   void handle_inbound(std::size_t idx);
@@ -108,6 +131,7 @@ class SocketTransport final : public ITransport {
 
   int epfd_ = -1;
   int listen_fd_ = -1;
+  bool closed_ = false;                   // shutdown() latched
   std::uint16_t bound_port_ = 0;
   std::vector<OutPeer> out_;              // index = peer id (self unused)
   std::vector<InConn> in_;                // accepted connections

@@ -88,11 +88,16 @@ struct TransportOptions {
   TransportKind kind = TransportKind::kSim;
   Framing coin_dealing = Framing::kBatched;
   Framing mw_children = Framing::kBatched;
+  // Cross-instance agreement-vote coalescing (src/aba/vote_batch.hpp).
+  Framing aba_votes = Framing::kBatched;
   // Per-slot override of mw_children (mixed-fleet experiments).
   std::map<int, Framing> mw_children_override;
 
   [[nodiscard]] bool batched_coin() const {
     return coin_dealing == Framing::kBatched;
+  }
+  [[nodiscard]] bool batched_votes() const {
+    return aba_votes == Framing::kBatched;
   }
   [[nodiscard]] bool batched_mw(int slot) const {
     auto it = mw_children_override.find(slot);

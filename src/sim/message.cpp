@@ -11,6 +11,7 @@ std::string SessionId::str() const {
       "test"};
   os << kPathNames[static_cast<int>(path)] << "(c=" << counter
      << ",d=" << owner;
+  if (instance != 0) os << ",i=" << instance;
   if (moderator >= 0) os << ",m=" << moderator;
   if (svss_dealer >= 0) os << ",sd=" << svss_dealer << ",v=" << int(variant);
   os << ")";
@@ -18,16 +19,18 @@ std::string SessionId::str() const {
 }
 
 std::optional<SessionId> parent_session(const SessionId& sid) {
+  // Nesting never crosses instances: a child session's parent carries the
+  // same instance id.
   switch (sid.path) {
     case SessionPath::kMwInSvssTop:
       return SessionId{SessionPath::kSvssTop, 0, sid.svss_dealer, -1, -1,
-                       sid.counter};
+                       sid.counter, sid.instance};
     case SessionPath::kMwInSvssCoin:
       return SessionId{SessionPath::kSvssCoin, 0, sid.svss_dealer, -1, -1,
-                       sid.counter};
+                       sid.counter, sid.instance};
     case SessionPath::kSvssCoin:
       return SessionId{SessionPath::kCoin, 0, -1, -1, -1,
-                       sid.counter / kMaxN};
+                       sid.counter / kMaxN, sid.instance};
     default:
       return std::nullopt;
   }
@@ -42,6 +45,7 @@ void write_sid(Writer& w, const SessionId& s) {
   w.i32(s.moderator);
   w.i32(s.svss_dealer);
   w.u32(s.counter);
+  w.u32(s.instance);
 }
 
 std::optional<SessionId> read_sid(Reader& r) {
@@ -51,7 +55,9 @@ std::optional<SessionId> read_sid(Reader& r) {
   auto moderator = r.i32();
   auto svss_dealer = r.i32();
   auto counter = r.u32();
-  if (!path || !variant || !owner || !moderator || !svss_dealer || !counter) {
+  auto instance = r.u32();
+  if (!path || !variant || !owner || !moderator || !svss_dealer || !counter ||
+      !instance) {
     return std::nullopt;
   }
   if (*path > static_cast<std::uint8_t>(SessionPath::kTest)) return std::nullopt;
@@ -62,6 +68,7 @@ std::optional<SessionId> read_sid(Reader& r) {
   s.moderator = static_cast<std::int16_t>(*moderator);
   s.svss_dealer = static_cast<std::int16_t>(*svss_dealer);
   s.counter = *counter;
+  s.instance = *instance;
   return s;
 }
 
@@ -103,8 +110,8 @@ std::optional<Message> Message::deserialize(const Bytes& raw) {
 }
 
 std::size_t Message::serialized_size() const {
-  // sid (18) + type (1) + a (4) + b (4) + three length-prefixed payloads.
-  return 18 + 1 + 4 + 4 + (4 + 4 * vals.size()) + (4 + 4 * ints.size()) +
+  // sid (22) + type (1) + a (4) + b (4) + three length-prefixed payloads.
+  return 22 + 1 + 4 + 4 + (4 + 4 * vals.size()) + (4 + 4 * ints.size()) +
          (4 + blob.size());
 }
 
@@ -133,6 +140,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kCoinGset: return "coin-gset";
     case MsgType::kCoinStartRecon: return "coin-start-recon";
     case MsgType::kAbaVote: return "aba-vote";
+    case MsgType::kAbaBatchVote: return "aba-batch-vote";
+    case MsgType::kAbaBatchConf: return "aba-batch-conf";
     case MsgType::kAcsProposal: return "acs-proposal";
     case MsgType::kSumPoint: return "sum-point";
     case MsgType::kTestPayload: return "test-payload";
@@ -192,6 +201,7 @@ std::size_t SessionIdHash::operator()(const SessionId& s) const {
   h = mix(h, static_cast<std::size_t>(s.moderator + 1));
   h = mix(h, static_cast<std::size_t>(s.svss_dealer + 1));
   h = mix(h, s.counter);
+  h = mix(h, s.instance);
   return h;
 }
 

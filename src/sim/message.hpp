@@ -47,6 +47,12 @@ struct SessionId {
   std::int16_t svss_dealer = -1; // enclosing SVSS dealer for nested MW-SVSS
   std::uint32_t counter = 0;     // top-level counter; for kSvssCoin this is
                                  // round * kMaxN + attachee
+  // Which concurrent agreement instance this session serves.  Every layer
+  // of one instance's cascade — ABA votes, coin rounds, their SVSS and
+  // MW-SVSS children — carries the same instance id, so one node/transport
+  // stack multiplexes any number of instances and a receiver routes purely
+  // on the sid.  0 for single-instance protocols and all non-ABA stacks.
+  std::uint32_t instance = 0;
 
   friend auto operator<=>(const SessionId&, const SessionId&) = default;
   friend bool operator==(const SessionId&, const SessionId&) = default;
@@ -95,6 +101,13 @@ enum class MsgType : std::uint8_t {
   kCoinStartRecon = 31, // i: entering reconstruction, support set (RB)
   // --- Byzantine agreement ---
   kAbaVote = 40,        // (round, phase, value)                   (RB)
+  // --- cross-instance vote transport (src/aba/vote_batch) ---
+  // One envelope coalesces every ABA vote a sender emits within one
+  // delivery cascade, across all concurrent instances and rounds: at scale
+  // nearly 100% of ideal-coin agreement bytes are aba-vote, so this is the
+  // packet lever once coin/MW traffic is already batched.
+  kAbaBatchVote = 41,   // (instance, round, subtype, value) runs (direct)
+  kAbaBatchConf = 42,   // (instance, round, setcode) triples      (RB)
   // --- extensions ---
   kAcsProposal = 50,     // ACS: opaque proposal                (RB)
   kSumPoint = 51,        // ASMPC secure sum: summed share point (RB)

@@ -44,6 +44,10 @@ const char* Metrics::type_group(MsgType type, bool* batched) {
     case MsgType::kCoinGset:
     case MsgType::kCoinStartRecon:
       return "coin";
+    case MsgType::kAbaBatchVote:
+    case MsgType::kAbaBatchConf:
+      *batched = true;
+      [[fallthrough]];
     case MsgType::kAbaVote:
       return "aba";
     case MsgType::kAcsProposal:

@@ -16,6 +16,7 @@ SessionId mw_child_id(const SessionId& parent, int dealer, int moderator,
   child.moderator = static_cast<std::int16_t>(moderator);
   child.svss_dealer = parent.owner;
   child.counter = parent.counter;
+  child.instance = parent.instance;
   return child;
 }
 

@@ -23,8 +23,9 @@ class MockAbaHost : public AbaHost {
   void send_direct(Context&, int to, Message m) override {
     directs.emplace_back(to, std::move(m));
   }
-  void start_coin(Context&, std::uint32_t round) override {
-    coin_requests.push_back(round);
+  void start_coin(Context&, std::uint32_t instance,
+                  std::uint32_t round) override {
+    coin_requests.emplace_back(instance, round);
   }
   void aba_decided(Context&, int value, std::uint32_t round,
                    std::uint32_t instance) override {
@@ -49,7 +50,7 @@ class MockAbaHost : public AbaHost {
 
   std::vector<Message> broadcasts;
   std::vector<std::pair<int, Message>> directs;
-  std::vector<std::uint32_t> coin_requests;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> coin_requests;
   std::optional<int> decided_value;
   std::uint32_t decided_round = 0;
   std::uint32_t decided_instance = 0;
@@ -65,7 +66,7 @@ struct AbaUnit : public ::testing::Test {
 
   Message vote(std::uint32_t round, int subtype, int payload) const {
     Message m;
-    m.sid = SessionId{SessionPath::kAba, 0, -1, -1, -1, 0};
+    m.sid = SessionId{SessionPath::kAba, 0, -1, -1, -1, 0, 0};
     m.type = MsgType::kAbaVote;
     m.a = static_cast<std::int16_t>(round);
     m.b = static_cast<std::int16_t>(subtype);
@@ -83,7 +84,8 @@ TEST_F(AbaUnit, StartSendsEstAndRequestsCoin) {
   s.start(ctx, 1);
   EXPECT_EQ(host.sent_values(0, 1), (std::vector<int>{1}));
   ASSERT_EQ(host.coin_requests.size(), 1u);
-  EXPECT_EQ(host.coin_requests[0], 1u);  // instance 0, round 1
+  EXPECT_EQ(host.coin_requests[0], (std::pair<std::uint32_t, std::uint32_t>{
+                                       0u, 1u}));  // instance 0, round 1
 }
 
 TEST_F(AbaUnit, InstanceNamespacesCoinRounds) {
@@ -91,10 +93,19 @@ TEST_F(AbaUnit, InstanceNamespacesCoinRounds) {
   AbaSession s(host, 0, kN, kT, CoinMode::kSvss, 0, /*instance=*/3);
   s.start(ctx, 0);
   ASSERT_EQ(host.coin_requests.size(), 1u);
-  EXPECT_EQ(host.coin_requests[0], 3 * kCoinRoundsPerInstance + 1);
-  // Coin results for other instances are ignored.
+  EXPECT_EQ(host.coin_requests[0],
+            (std::pair<std::uint32_t, std::uint32_t>{3u, 1u}));
+  // The instance id travels in the session id of every vote.
+  for (const auto& [to, m] : host.directs) {
+    EXPECT_EQ(m.sid.instance, 3u);
+    EXPECT_EQ(m.sid.counter, 0u);
+  }
+  // Coin results arrive as instance-local rounds (the host dispatches by
+  // instance); out-of-range rounds are ignored.
+  s.on_coin(ctx, 0, 1);
+  s.on_coin(ctx, kCoinRoundsPerInstance, 1);
+  EXPECT_FALSE(s.snapshot(1).has_coin);
   s.on_coin(ctx, 1, 1);
-  s.on_coin(ctx, 3 * kCoinRoundsPerInstance + 1, 1);
   EXPECT_TRUE(s.snapshot(1).has_coin);
 }
 

@@ -1,0 +1,166 @@
+// Reconnect-under-partial-write regression test.
+//
+// A SocketTransport that loses its connection mid-frame must resend from
+// the last *frame boundary*, not from the flushed byte offset: the new
+// connection's receiver starts a fresh frame stream, so a resumed frame
+// tail would be parsed as a length prefix and latch a stream error.
+//
+// The harness plays the remote peer with a raw listening socket whose
+// receive buffer is tiny and which never drains the first connection, so
+// an oversized frame is guaranteed to stall mid-frame in flush_out.  It
+// then closes the connection (the transport drops and re-dials) and
+// replays the *second* connection's byte stream through a FrameDecoder:
+// post-fix the stream is HELLO + the complete oversized frame + a trailer
+// frame; pre-fix it is HELLO + a frame tail whose 0xFF filler reads as an
+// undelimitable length prefix (decoder.broken()).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "net/frame.hpp"
+#include "net/socket_transport.hpp"
+
+namespace svss::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Listener with a deliberately tiny receive buffer (inherited by accepted
+// connections), so the dialer's kernel send buffer fills and write() hits
+// EAGAIN mid-frame.
+struct RawListener {
+  int fd = -1;
+  std::uint16_t port = 0;
+
+  bool open() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    int rcv = 4096;
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcv, sizeof(rcv));
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return false;
+    }
+    if (::listen(fd, 8) < 0) return false;
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      return false;
+    }
+    port = ntohs(bound.sin_port);
+    // Nonblocking so the test can interleave accept with transport polls.
+    fcntl(fd, F_SETFL, O_NONBLOCK);
+    return true;
+  }
+
+  // Polls the transport until a connection arrives (or deadline).
+  int accept_with(SocketTransport& t, int timeout_ms) {
+    auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (Clock::now() < deadline) {
+      int c = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);
+      if (c >= 0) return c;
+      t.poll(5);
+    }
+    return -1;
+  }
+
+  ~RawListener() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Packet test_packet(std::uint32_t counter, std::size_t blob_bytes) {
+  Message m;
+  m.sid = SessionId{SessionPath::kTest, 0, -1, -1, -1, counter};
+  m.type = MsgType::kTestPayload;
+  // 0xFF filler: if a resend ever resumes mid-frame, the receiver reads
+  // four of these as a length prefix (0xFFFFFFFF > kMaxFrameBytes) and
+  // must latch a stream error — making the pre-fix failure deterministic.
+  m.blob.assign(blob_bytes, 0xFF);
+  return make_direct(std::move(m));
+}
+
+TEST(SocketReconnect, ResendsFromFrameBoundaryAfterMidFrameDrop) {
+  RawListener peer;
+  ASSERT_TRUE(peer.open());
+
+  ClusterConfig cfg;
+  cfg.peers = {Endpoint{"127.0.0.1", 0},          // transport's own listener
+               Endpoint{"127.0.0.1", peer.port}}; // the raw peer
+  SocketTransport t(0, cfg);
+  ASSERT_TRUE(t.open());
+
+  // One frame far larger than any kernel send buffer plus a 4K receive
+  // buffer (but under kMaxFrameBytes), so flush_out must stall inside it,
+  // and a small trailer behind it that checks stream sync end-to-end.
+  const std::size_t kBig = 8u << 20;
+  Packet big = test_packet(1, kBig);
+  Packet trailer = test_packet(2, 32);
+  t.send(1, big);
+  t.send(1, trailer);
+
+  // First connection: let the transport write until its send buffer jams
+  // mid-frame, then confirm bytes actually flowed and cut the connection.
+  int c1 = peer.accept_with(t, 5000);
+  ASSERT_GE(c1, 0);
+  for (int i = 0; i < 50; ++i) t.poll(2);
+  std::uint8_t probe[1024];
+  ssize_t got = ::read(c1, probe, sizeof(probe));
+  ASSERT_GT(got, 0) << "transport wrote nothing on the first connection";
+  ::close(c1);
+
+  // Second connection (transport re-dials after ~100ms backoff): replay
+  // its entire stream through a FrameDecoder and demand a clean resend.
+  int c2 = peer.accept_with(t, 5000);
+  ASSERT_GE(c2, 0);
+
+  FrameDecoder dec;
+  std::vector<Frame> frames;
+  const std::size_t kWant = 3;  // HELLO + big + trailer
+  auto deadline = Clock::now() + std::chrono::seconds(30);
+  std::vector<std::uint8_t> chunk(1u << 16);
+  while (frames.size() < kWant && !dec.broken() && Clock::now() < deadline) {
+    t.poll(2);
+    for (;;) {
+      ssize_t r = ::read(c2, chunk.data(), chunk.size());
+      if (r <= 0) break;
+      ASSERT_TRUE(dec.feed(chunk.data(), static_cast<std::size_t>(r)) ||
+                  dec.broken());
+      while (auto f = dec.next()) frames.push_back(std::move(*f));
+      if (dec.broken()) break;
+    }
+  }
+  ::close(c2);
+
+  // Pre-fix, the resumed frame tail desyncs the stream right after HELLO.
+  EXPECT_FALSE(dec.broken())
+      << "receiver latched a stream error: resend resumed mid-frame";
+  ASSERT_EQ(frames.size(), kWant);
+
+  auto hello = decode_hello(frames[0], cfg.n());
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(*hello, 0);
+
+  auto p1 = decode_packet(frames[1]);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_FALSE(p1->is_rb);
+  EXPECT_EQ(p1->app, big.app) << "oversized frame did not survive resend";
+
+  auto p2 = decode_packet(frames[2]);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->app, trailer.app);
+}
+
+}  // namespace
+}  // namespace svss::net

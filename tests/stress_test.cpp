@@ -86,6 +86,41 @@ TEST(Stress, Aba64HonestAgreement) {
   std::cout << "n=64 honest agreement: " << res.metrics.summary() << "\n";
 }
 
+// Instance multiplexing at stress scale: 32 concurrent agreement
+// instances at n = 31 (t = 10, resilience bound) over one stack, mixed
+// inputs per instance.  Every instance must decide and agree
+// independently, and the vote stream must actually ride the
+// cross-instance envelopes — at this scale an uncoalesced kAbaVote
+// majority would mean the batcher silently stopped capturing.
+TEST(Stress, MultiInstance31x32Concurrent) {
+  RunnerConfig cfg;
+  cfg.n = 31;
+  cfg.t = 10;
+  cfg.seed = 3103;
+  cfg.max_deliveries = 2'000'000'000;
+  Runner r(cfg);
+  constexpr std::uint32_t kInstances = 32;
+  for (std::uint32_t i = 0; i < kInstances; ++i) {
+    std::vector<int> inputs;
+    for (int p = 0; p < 31; ++p) {
+      inputs.push_back((p + static_cast<int>(i)) % 2);
+    }
+    r.submit(i, std::move(inputs));
+  }
+  auto res = r.run_submitted(CoinMode::kIdealCommon);
+  EXPECT_TRUE(res.all_decided);
+  EXPECT_TRUE(res.agreed);
+  EXPECT_FALSE(res.metrics.capped);
+  EXPECT_EQ(res.decisions.size(), kInstances);
+  auto pkts = [&res](MsgType t) {
+    return res.metrics.packets_by_type[static_cast<std::size_t>(t)];
+  };
+  std::uint64_t envelopes =
+      pkts(MsgType::kAbaBatchVote) + pkts(MsgType::kAbaBatchConf);
+  EXPECT_GT(envelopes, pkts(MsgType::kAbaVote));
+  std::cout << "n=31 x32 instances: " << res.metrics.summary() << "\n";
+}
+
 // The headline claim of the MW group-coalesced transport (plus the PR-4
 // coin-dealing batcher): >=5x fewer full-stack packets at n = 10.  The
 // workload is one full SVSS-coin round per framing — the *same* protocol

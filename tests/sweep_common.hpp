@@ -196,6 +196,13 @@ inline CellResult run_aba_cell(int n, adversary::StrategyKind strategy,
   cfg.seed = seed;
   cfg.scheduler = scheduler;
   cfg.max_deliveries = spec.max_deliveries;
+  // Per-session vote framing: the sweep's non-vacuity check needs every
+  // strategy to reach its attack surface (the coin's MW recon phase), but
+  // batched votes let agreement outpace the coin machinery, so a run can
+  // stop — all honest decided — before any recon broadcast leaves the
+  // adversary slot.  Vote-batching correctness has its own equivalence
+  // coverage; this sweep is about adversary/DMM behavior.
+  cfg.transport.aba_votes = Framing::kPerSession;
   if (spec.configure) spec.configure(cfg);
   int faulty = cell.t;
   adversary::AdversaryConfig base;
