@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# Recovery smoke test: crash + checkpoint-restart of one daemon mid-run.
+#
+# Launches a fleet of n=4 example_agreement_cluster daemons running K=3
+# concurrent agreement instances with durable decisions (--checkpoint).
+# As soon as replica 3 has persisted its first decision (journal
+# non-empty), it is SIGKILLed — the remaining instances are typically
+# still in flight, so the kill lands mid-agreement.  The survivors
+# (n - t = 3) must still decide every instance; replica 3 is then
+# restarted from its checkpoint + journal, must recover, run the
+# catch-up handshake against the lingering survivors, and print the same
+# decisions.  Finally every replica gets SIGTERM and must exit 0.
+#
+# Usage: scripts/recovery_smoke.sh [path-to-example_agreement_cluster]
+# Env:   RECOVERY_SMOKE_BASE_PORT (default 45300), RECOVERY_SMOKE_SEED (11),
+#        RECOVERY_SMOKE_TIMEOUT seconds (120).
+set -euo pipefail
+
+BIN="${1:-build/examples/example_agreement_cluster}"
+BASE_PORT="${RECOVERY_SMOKE_BASE_PORT:-45300}"
+SEED="${RECOVERY_SMOKE_SEED:-11}"
+TIMEOUT="${RECOVERY_SMOKE_TIMEOUT:-120}"
+N=4
+K=3
+VICTIM=3
+
+if [[ ! -x "$BIN" ]]; then
+  echo "recovery_smoke: binary not found or not executable: $BIN" >&2
+  exit 2
+fi
+
+PEERS=""
+for ((i = 0; i < N; i++)); do
+  PEERS+="${PEERS:+,}127.0.0.1:$((BASE_PORT + i))"
+done
+
+WORKDIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+dump_logs() {
+  for f in "$WORKDIR"/replica-*.log; do
+    echo "--- $f ---"; cat "$f"
+  done
+}
+
+# Launches one replica in the background; the PID lands in LAUNCH_PID
+# (a command substitution would fork, making the daemon un-wait-able).
+# Extra flags (e.g. --rejoin) are passed through.
+launch() {
+  local id="$1" log="$2"
+  shift 2
+  "$BIN" --id "$id" --peers "$PEERS" --seed "$SEED" --instances "$K" \
+    --checkpoint "$WORKDIR/ckpt-$id" --linger-ms 60000 "$@" \
+    >"$log" 2>&1 &
+  LAUNCH_PID=$!
+}
+
+echo "recovery_smoke: fleet of $N on ports $BASE_PORT-$((BASE_PORT + N - 1))," \
+     "$K instances, seed $SEED, victim $VICTIM"
+for ((i = 0; i < N; i++)); do
+  launch "$i" "$WORKDIR/replica-$i.log"
+  PIDS+=("$LAUNCH_PID")
+done
+VICTIM_PID="${PIDS[$VICTIM]}"
+
+# Kill the victim as soon as it has persisted at least one decision
+# (journal non-empty or a checkpoint written) — the remaining instances
+# are usually still undecided, so this is a genuine mid-agreement crash.
+deadline=$((SECONDS + TIMEOUT / 2))
+while [[ ! -s "$WORKDIR/ckpt-$VICTIM.journal" && \
+         ! -s "$WORKDIR/ckpt-$VICTIM" ]]; do
+  if ((SECONDS >= deadline)); then
+    echo "recovery_smoke: FAIL — victim never persisted a decision" >&2
+    dump_logs
+    exit 1
+  fi
+  if ! kill -0 "$VICTIM_PID" 2>/dev/null; then
+    echo "recovery_smoke: FAIL — victim exited before the kill" >&2
+    dump_logs
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+echo "recovery_smoke: victim killed (SIGKILL) with journal on disk"
+
+# The survivors (n - t of n) must decide every instance without the victim.
+deadline=$((SECONDS + TIMEOUT))
+for ((i = 0; i < N; i++)); do
+  [[ "$i" == "$VICTIM" ]] && continue
+  while (($(grep -c 'decided instance=' "$WORKDIR/replica-$i.log" \
+            2>/dev/null || true) < K)); do
+    if ((SECONDS >= deadline)); then
+      echo "recovery_smoke: FAIL — survivor $i undecided after ${TIMEOUT}s" >&2
+      dump_logs
+      exit 1
+    fi
+    sleep 0.2
+  done
+done
+echo "recovery_smoke: survivors decided all $K instances"
+
+# Restart the victim from its checkpoint.  It must take the recovery
+# path, catch up against the lingering survivors, and print the same
+# per-instance decisions.
+launch "$VICTIM" "$WORKDIR/replica-$VICTIM-restart.log"
+RESTART_PID="$LAUNCH_PID"
+PIDS[$VICTIM]="$RESTART_PID"
+while (($(grep -c 'decided instance=' \
+          "$WORKDIR/replica-$VICTIM-restart.log" 2>/dev/null || true) < K)); do
+  if ((SECONDS >= deadline)); then
+    echo "recovery_smoke: FAIL — restarted victim did not catch up" >&2
+    dump_logs
+    exit 1
+  fi
+  if ! kill -0 "$RESTART_PID" 2>/dev/null; then
+    echo "recovery_smoke: FAIL — restarted victim exited early" >&2
+    dump_logs
+    exit 1
+  fi
+  sleep 0.2
+done
+if ! grep -q 'rejoining with' "$WORKDIR/replica-$VICTIM-restart.log"; then
+  echo "recovery_smoke: FAIL — restart did not take the recovery path" >&2
+  dump_logs
+  exit 1
+fi
+echo "recovery_smoke: restarted victim recovered and caught up" \
+     "($(grep -o 'caught up in.*' "$WORKDIR/replica-$VICTIM-restart.log" \
+         || echo 'no catch-up line'))"
+
+# Phase 2: the worst-case restart — the crash destroyed the local state
+# too (or landed before the first journal write).  Kill the recovered
+# victim again, wipe its checkpoint + journal, and restart with --rejoin:
+# it must adopt every decision over the wire from t+1 matching peers.
+kill -9 "$RESTART_PID" 2>/dev/null || true
+wait "$RESTART_PID" 2>/dev/null || true
+rm -f "$WORKDIR/ckpt-$VICTIM" "$WORKDIR/ckpt-$VICTIM.journal"
+launch "$VICTIM" "$WORKDIR/replica-$VICTIM-restart2.log" --rejoin
+RESTART_PID="$LAUNCH_PID"
+PIDS[$VICTIM]="$RESTART_PID"
+while (($(grep -c 'decided instance=' \
+          "$WORKDIR/replica-$VICTIM-restart2.log" 2>/dev/null || true) < K)); do
+  if ((SECONDS >= deadline)); then
+    echo "recovery_smoke: FAIL — stateless rejoin did not catch up" >&2
+    dump_logs
+    exit 1
+  fi
+  if ! kill -0 "$RESTART_PID" 2>/dev/null; then
+    echo "recovery_smoke: FAIL — stateless rejoin exited early" >&2
+    dump_logs
+    exit 1
+  fi
+  sleep 0.2
+done
+CATCHUP_LINE="$(grep -o 'caught up in.*' \
+                "$WORKDIR/replica-$VICTIM-restart2.log" || true)"
+if ! grep -q 'frames=[1-9]' <<<"$CATCHUP_LINE"; then
+  echo "recovery_smoke: FAIL — stateless rejoin adopted nothing over the" \
+       "wire ($CATCHUP_LINE)" >&2
+  dump_logs
+  exit 1
+fi
+echo "recovery_smoke: stateless rejoin adopted decisions over the wire" \
+     "($CATCHUP_LINE)"
+
+# Tell everyone to wind down; each must exit 0 (clean signal handling).
+for pid in "${PIDS[@]}"; do
+  kill "$pid" 2>/dev/null || true
+done
+for idx in "${!PIDS[@]}"; do
+  if ! wait "${PIDS[$idx]}"; then
+    echo "recovery_smoke: FAIL — replica $idx exited non-zero on SIGTERM" >&2
+    dump_logs
+    exit 1
+  fi
+done
+PIDS=()
+
+# Cross-replica agreement, per instance, including the restarted victim.
+LOGS=()
+for ((i = 0; i < N; i++)); do
+  if [[ "$i" == "$VICTIM" ]]; then
+    LOGS+=("$WORKDIR/replica-$i-restart2.log")
+  else
+    LOGS+=("$WORKDIR/replica-$i.log")
+  fi
+done
+for ((k = 1; k <= K; k++)); do
+  first=""
+  for log in "${LOGS[@]}"; do
+    line="$(grep -o "decided instance=$k value=[01]" "$log" | head -n1 || true)"
+    if [[ -z "$line" ]]; then
+      echo "recovery_smoke: FAIL — $log has no decision for instance $k" >&2
+      dump_logs
+      exit 1
+    fi
+    v="${line#*value=}"
+    if [[ -z "$first" ]]; then
+      first="$v"
+    elif [[ "$v" != "$first" ]]; then
+      echo "recovery_smoke: FAIL — instance $k disagreement" >&2
+      dump_logs
+      exit 1
+    fi
+  done
+  echo "instance $k: all $N replicas decided value=$first"
+done
+
+echo "recovery_smoke: PASS — crash + checkpoint-restart converged on" \
+     "$K instances"

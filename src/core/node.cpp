@@ -550,8 +550,8 @@ void Node::start_coin(Context& ctx, std::uint32_t instance,
 void Node::aba_decided(Context& ctx, int value, std::uint32_t round,
                        std::uint32_t instance) {
   if (acs_) acs_->on_aba_decided(ctx, instance, value);
-  if (instance == 0 && observers.aba_decided) {
-    observers.aba_decided(ctx, value, round);
+  if (observers.aba_decided) {
+    observers.aba_decided(ctx, value, round, instance);
   }
 }
 

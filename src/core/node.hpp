@@ -51,7 +51,10 @@ struct NodeObservers {
       svss_output;
   // Coin outputs of agreement instance 0 / standalone coin rounds.
   std::function<void(Context&, std::uint32_t, int)> coin_output;
-  std::function<void(Context&, int, std::uint32_t)> aba_decided;
+  // Fires for every agreement instance: (value, round, instance).  The
+  // daemon recovery layer journals decisions through this.
+  std::function<void(Context&, int, std::uint32_t, std::uint32_t)>
+      aba_decided;
 };
 
 class Node : public IProcess,

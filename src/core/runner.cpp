@@ -514,6 +514,19 @@ Runner::MultiAbaResult collect_submitted(
 
 }  // namespace
 
+EpochsResult Runner::run_epochs(const std::vector<EpochPlan>& script,
+                                CoinMode mode) {
+  if (!cfg_.faults.empty() || !cfg_.adversaries.empty()) {
+    throw std::invalid_argument(
+        "run_epochs: faults/adversaries unsupported; crash members via "
+        "EpochPlan::crash_at_boundary");
+  }
+  if (cfg_.transport.kind == TransportKind::kSocketLoopback) {
+    return run_epochs_loopback(cfg_, script, mode);
+  }
+  return run_epochs_sim(engine_, cfg_, script, mode);
+}
+
 Runner::MultiAbaResult Runner::run_submitted(CoinMode mode) {
   if (submitted_.empty()) {
     throw std::invalid_argument("run_submitted: no instances submitted");

@@ -18,6 +18,7 @@
 
 #include "core/adversary_slot.hpp"
 #include "core/byzantine.hpp"
+#include "core/epoch.hpp"
 #include "core/node.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
@@ -161,6 +162,19 @@ class Runner {
   // Drives every submitted instance to decision concurrently (sim or
   // socket-loopback backend, like run_aba).  Consumes the queue.
   MultiAbaResult run_submitted(CoinMode mode = CoinMode::kIdealCommon);
+
+  // ------------------------------------------------------------------
+  // Membership reconfiguration (core/epoch.hpp)
+  // ------------------------------------------------------------------
+  // Runs a script of membership epochs over the config's universe of n
+  // transport slots: per epoch, every live member runs the plan's
+  // agreement instances, then all members agree the boundary (one
+  // reserved instance) and the next config installs — join, leave, or
+  // replace of slots, plus members that crash exactly at a boundary.
+  // Works on both backends (cfg.transport.kind); faults/adversaries are
+  // rejected — the reconfiguration adversary is EpochPlan's crash set.
+  EpochsResult run_epochs(const std::vector<EpochPlan>& script,
+                          CoinMode mode = CoinMode::kIdealCommon);
 
   struct AcsResult {
     std::map<int, std::vector<std::pair<int, Bytes>>> outputs;  // honest

@@ -1,21 +1,53 @@
 #include "core/service_builder.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 namespace svss {
 
+namespace {
+
+EpochConfig identity_epoch(int n, int t) {
+  EpochConfig cfg;
+  cfg.epoch = 0;
+  cfg.t = t;
+  cfg.members.resize(static_cast<std::size_t>(n));
+  std::iota(cfg.members.begin(), cfg.members.end(), 0);
+  return cfg;
+}
+
+}  // namespace
+
 DaemonService::DaemonService(int self, int n, int t, std::uint64_t seed,
                              net::ClusterConfig cluster,
-                             const TransportOptions& opts) {
-  transport_ = std::make_unique<net::SocketTransport>(self, std::move(cluster));
-  daemon_ = std::make_unique<NodeDaemon>(self, n, t, seed, *transport_, opts);
+                             const TransportOptions& opts)
+    : self_(self), t_(t), seed_(seed), opts_(opts) {
+  transport_ =
+      std::make_unique<net::SocketTransport>(self, std::move(cluster));
+  epoch_ = std::make_unique<EpochTransport>(*transport_,
+                                            identity_epoch(n, t));
+  // Epoch 0 is the identity membership, so rank == global id and the
+  // derived seed stream matches what a pre-epoch fleet used to run.
+  daemon_ = std::make_unique<NodeDaemon>(self, n, t,
+                                         epoch_seed(seed, 0), *epoch_, opts);
 }
 
 bool DaemonService::start() {
   if (!transport_->open()) return false;
   net::install_stop_handlers();
+  install_hooks();
   daemon_->start();
+  epoch_->flush_buffered();
   return true;
+}
+
+void DaemonService::install_hooks() {
+  daemon_->node().observers.aba_decided =
+      [this](Context&, int value, std::uint32_t round,
+             std::uint32_t instance) { note_decision(value, round, instance); };
+  epoch_->set_control(
+      [this](int from, const Message& m) { on_control(from, m); });
 }
 
 bool DaemonService::stop_requested() { return net::stop_requested(); }
@@ -36,6 +68,177 @@ void DaemonService::submit(std::uint32_t instance, int input, CoinMode mode,
   Context c = ctx();
   node().start_aba(c, input, mode, common_seed, instance);
 }
+
+// ----------------------------------------------------------------------
+// Reconfiguration
+// ----------------------------------------------------------------------
+
+void DaemonService::advance_epoch(const EpochConfig& next) {
+  epoch_->set_delivery(nullptr);
+  daemon_.reset();
+  epoch_->install(next);
+  if (epoch_->is_member()) {
+    daemon_ = std::make_unique<NodeDaemon>(
+        epoch_->self(), next.n(), next.t, epoch_seed(seed_, next.epoch),
+        *epoch_, opts_);
+    install_hooks();
+    daemon_->start();
+    epoch_->flush_buffered();
+  }
+}
+
+// ----------------------------------------------------------------------
+// Crash recovery
+// ----------------------------------------------------------------------
+
+void DaemonService::enable_recovery(std::string checkpoint_path,
+                                    int checkpoint_every) {
+  checkpoint_path_ = std::move(checkpoint_path);
+  checkpoint_every_ = checkpoint_every < 1 ? 1 : checkpoint_every;
+  journal_ = std::make_unique<DecisionJournal>();
+  if (!journal_->open(journal_path())) journal_.reset();
+}
+
+bool DaemonService::recover() {
+  if (checkpoint_path_.empty()) return false;
+  bool found = false;
+  if (auto cp = load_checkpoint(checkpoint_path_)) {
+    for (const DecisionRecord& r : cp->decisions) {
+      decided_.emplace(DecisionKey{r.epoch, r.instance}, r);
+    }
+    found = true;
+  }
+  auto tail = DecisionJournal::replay(journal_path());
+  for (const DecisionRecord& r : tail) {
+    decided_.emplace(DecisionKey{r.epoch, r.instance}, r);
+  }
+  return found || !tail.empty();
+}
+
+void DaemonService::note_decision(int value, std::uint32_t round,
+                                  std::uint32_t instance) {
+  // Boundary rounds close an epoch; they are control flow, not output.
+  if (instance == kEpochBoundaryInstance) return;
+  DecisionRecord rec;
+  rec.epoch = current_epoch();
+  rec.instance = instance;
+  rec.value = value;
+  rec.round = round;
+  adopt_record(rec);
+}
+
+void DaemonService::adopt_record(const DecisionRecord& rec) {
+  DecisionKey key{rec.epoch, rec.instance};
+  if (!decided_.emplace(key, rec).second) return;
+  if (journal_) {
+    journal_->append(rec);
+    if (++since_checkpoint_ >= checkpoint_every_) checkpoint_now();
+  }
+}
+
+void DaemonService::checkpoint_now() {
+  if (checkpoint_path_.empty()) return;
+  CheckpointData data;
+  data.epoch = current_epoch();
+  data.config = epoch_->config();
+  data.seed = seed_;
+  data.decisions.reserve(decided_.size());
+  for (const auto& [key, rec] : decided_) data.decisions.push_back(rec);
+  if (save_checkpoint(checkpoint_path_, data)) {
+    if (journal_) journal_->reset();
+    since_checkpoint_ = 0;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Catch-up handshake
+// ----------------------------------------------------------------------
+
+void DaemonService::on_control(int global_from, const Message& m) {
+  if (m.type == MsgType::kEpochCatchupReq) {
+    // Answer with everything the requester did not declare known.
+    std::set<DecisionKey> known;
+    for (std::size_t i = 0; i + 1 < m.ints.size(); i += 2) {
+      known.emplace(static_cast<std::uint32_t>(m.ints[i]),
+                    static_cast<std::uint32_t>(m.ints[i + 1]));
+    }
+    std::vector<DecisionRecord> fresh;
+    for (const auto& [key, rec] : decided_) {
+      if (known.count(key) == 0) fresh.push_back(rec);
+    }
+    Message reply;
+    reply.type = MsgType::kEpochCatchupState;
+    reply.sid.owner = static_cast<std::int16_t>(self_);
+    reply.blob =
+        encode_catchup_state(current_epoch(), epoch_->config(), fresh);
+    transport_->send(global_from, make_direct(std::move(reply)));
+    return;
+  }
+  if (m.type != MsgType::kEpochCatchupState) return;
+  auto st = decode_catchup_state(m.blob);
+  if (!st) return;
+  ++catchup_frames_;
+  catchup_bytes_ += m.blob.size();
+  if (st->current_epoch > current_epoch()) {
+    auto& [voters, config] = epoch_votes_[st->current_epoch];
+    voters.insert(global_from);
+    config = st->config;
+  }
+  for (const DecisionRecord& rec : st->decisions) {
+    if (decided_.count(DecisionKey{rec.epoch, rec.instance}) != 0) continue;
+    auto& voters =
+        value_votes_[{rec.epoch, rec.instance, rec.value}];
+    voters.insert(global_from);
+    // t+1 matching reports contain at least one honest witness.
+    if (static_cast<int>(voters.size()) >= t_ + 1) adopt_record(rec);
+  }
+}
+
+bool DaemonService::catch_up(const std::vector<std::uint32_t>& instances,
+                             int timeout_ms) {
+  Message req;
+  req.type = MsgType::kEpochCatchupReq;
+  req.sid.owner = static_cast<std::int16_t>(self_);
+  req.ints.reserve(decided_.size() * 2);
+  for (const auto& [key, rec] : decided_) {
+    req.ints.push_back(static_cast<int>(key.first));
+    req.ints.push_back(static_cast<int>(key.second));
+  }
+  for (int g = 0; g < transport_->n(); ++g) {
+    if (g == self_) continue;
+    transport_->send(g, make_direct(req));
+  }
+  auto have_all = [&] {
+    return std::all_of(instances.begin(), instances.end(),
+                       [&](std::uint32_t inst) {
+                         return decision(inst).has_value();
+                       });
+  };
+  transport_->run_until(have_all, timeout_ms);
+  // Re-enter a later epoch if t+1 peers agree on its config (take the
+  // newest such epoch — intermediate ones are already over).
+  std::optional<EpochConfig> next;
+  for (const auto& [e, vote] : epoch_votes_) {
+    if (e > current_epoch() &&
+        static_cast<int>(vote.first.size()) >= t_ + 1) {
+      next = vote.second;
+    }
+  }
+  if (next) advance_epoch(*next);
+  return have_all();
+}
+
+std::optional<int> DaemonService::decision(std::uint32_t instance) const {
+  std::optional<int> out;
+  for (const auto& [key, rec] : decided_) {
+    if (key.second == instance) out = rec.value;  // map order: epoch ascends
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// ServiceBuilder
+// ----------------------------------------------------------------------
 
 RunnerConfig ServiceBuilder::runner_config() const {
   RunnerConfig cfg;

@@ -11,16 +11,31 @@
 //     process's endpoint, dialing the peers in the ClusterConfig.  Each OS
 //     process of the fleet builds its own.
 //
+// A daemon's stack is SocketTransport -> EpochTransport -> NodeDaemon:
+// the epoch fence (core/epoch.hpp) sits between the wire and the protocol
+// even in single-epoch deployments (epoch 0, identity membership), so
+// reconfiguration and the catch-up control plane need no special wiring.
+// enable_recovery() adds the checkpoint + journal persistence of
+// core/recovery.hpp; recover() + catch_up() bring a restarted daemon back
+// to the fleet's state.
+//
 // Unset fields get the library defaults (t = floor((n-1)/3), batched
 // framings, sim backend).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "core/daemon.hpp"
+#include "core/epoch.hpp"
+#include "core/recovery.hpp"
 #include "core/runner.hpp"
 #include "net/endpoint.hpp"
 
@@ -28,6 +43,9 @@ namespace svss {
 
 // One OS process of a socket-backed fleet: the transport endpoint plus the
 // NodeDaemon driving a full protocol Node over it.
+//
+// Movable until start(); start() installs this-capturing hooks, so the
+// object must sit at its final address from then on.
 class DaemonService {
  public:
   DaemonService(int self, int n, int t, std::uint64_t seed,
@@ -37,12 +55,17 @@ class DaemonService {
   // A Context for injecting local actions (deals, inputs) between polls.
   Context ctx() { return Context(daemon_->world()); }
   net::SocketTransport& transport() { return *transport_; }
+  EpochTransport& epoch_transport() { return *epoch_; }
+  [[nodiscard]] std::uint32_t current_epoch() const {
+    return epoch_->config().epoch;
+  }
 
-  // Binds the listener, installs SIGTERM/SIGINT stop handlers, and runs
-  // the node's start hook.  False on bind failure (port taken, bad
-  // address).  The handlers make run_until()/linger() return early when a
-  // supervisor signals the process, so daemon mains can shut down
-  // cleanly instead of dying mid-write.
+  // Binds the listener, installs SIGTERM/SIGINT stop handlers, wires the
+  // decision observer + catch-up control plane, and runs the node's start
+  // hook.  False on bind failure (port taken, bad address).  The handlers
+  // make run_until()/linger() return early when a supervisor signals the
+  // process, so daemon mains can shut down cleanly instead of dying
+  // mid-write.
   bool start();
   // Drives the socket loop until pred(), the timeout, or stop_requested();
   // true iff pred().
@@ -67,9 +90,85 @@ class DaemonService {
               CoinMode mode = CoinMode::kIdealCommon,
               std::uint64_t common_seed = 0);
 
+  // --- reconfiguration -----------------------------------------------
+  // Installs `next` at a boundary the caller has already agreed (drained
+  // instances + a decided kEpochBoundaryInstance round).  Tears down the
+  // old epoch's protocol stack and builds a fresh one at this slot's new
+  // rank with the epoch's derived seed; a slot not in `next` becomes a
+  // spectator (no stack) that still answers the control plane.  In-flight
+  // next-epoch traffic buffered at the fence replays into the new stack.
+  void advance_epoch(const EpochConfig& next);
+  // Live endpoint replacement for a universe slot (a peer process was
+  // swapped for one at a new address).
+  void rebind_peer(int id, net::Endpoint ep) {
+    transport_->rebind_peer(id, std::move(ep));
+  }
+
+  // --- crash recovery ------------------------------------------------
+  // Persist decisions to `checkpoint_path` (+ ".journal"): every decision
+  // is journaled immediately, and every `checkpoint_every` decisions the
+  // full state checkpoints atomically and the journal truncates.  Call
+  // before start(), on the object's final address.
+  void enable_recovery(std::string checkpoint_path, int checkpoint_every = 4);
+  // Loads checkpoint + journal into the decision table.  Call after
+  // enable_recovery(), before start().  True iff any persisted state was
+  // found.
+  bool recover();
+  // Rejoin handshake: broadcasts kEpochCatchupReq (ints = the (epoch,
+  // instance) pairs already known), adopts any decision t+1 peers report
+  // with a matching value, and re-enters a later epoch if t+1 peers agree
+  // on its config.  Returns true iff every instance in `instances` has a
+  // known decision afterwards.
+  bool catch_up(const std::vector<std::uint32_t>& instances, int timeout_ms);
+  // Forces a checkpoint now (clean-shutdown path).  No-op without
+  // enable_recovery().
+  void checkpoint_now();
+
+  using DecisionKey = std::pair<std::uint32_t, std::uint32_t>;  // epoch, inst
+  // The decision for `instance` in its latest epoch, if known (decided
+  // locally, recovered from disk, or adopted via catch-up).
+  [[nodiscard]] std::optional<int> decision(std::uint32_t instance) const;
+  [[nodiscard]] const std::map<DecisionKey, DecisionRecord>& decisions()
+      const {
+    return decided_;
+  }
+  // Catch-up cost actually paid: state frames / payload bytes received.
+  [[nodiscard]] std::uint64_t catchup_frames() const {
+    return catchup_frames_;
+  }
+  [[nodiscard]] std::uint64_t catchup_bytes() const { return catchup_bytes_; }
+
  private:
+  void install_hooks();
+  void on_control(int global_from, const Message& m);
+  void note_decision(int value, std::uint32_t round, std::uint32_t instance);
+  void adopt_record(const DecisionRecord& rec);
+  [[nodiscard]] std::string journal_path() const {
+    return checkpoint_path_ + ".journal";
+  }
+
+  int self_;
+  int t_;
+  std::uint64_t seed_;
+  TransportOptions opts_;
   std::unique_ptr<net::SocketTransport> transport_;
+  std::unique_ptr<EpochTransport> epoch_;
   std::unique_ptr<NodeDaemon> daemon_;
+
+  std::string checkpoint_path_;
+  int checkpoint_every_ = 4;
+  int since_checkpoint_ = 0;
+  std::unique_ptr<DecisionJournal> journal_;
+  std::map<DecisionKey, DecisionRecord> decided_;
+
+  // Catch-up tallies: value reports per (epoch, instance, value) and
+  // config reports per later epoch, each needing t+1 distinct peers.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::int32_t>,
+           std::set<int>>
+      value_votes_;
+  std::map<std::uint32_t, std::pair<std::set<int>, EpochConfig>> epoch_votes_;
+  std::uint64_t catchup_frames_ = 0;
+  std::uint64_t catchup_bytes_ = 0;
 };
 
 class ServiceBuilder {

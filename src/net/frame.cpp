@@ -18,6 +18,7 @@ void write_sid(Writer& w, const SessionId& sid) {
   w.i32(sid.svss_dealer);
   w.u32(sid.counter);
   w.u32(sid.instance);
+  w.u32(sid.epoch);
 }
 
 std::optional<SessionId> read_sid(Reader& r) {
@@ -28,8 +29,9 @@ std::optional<SessionId> read_sid(Reader& r) {
   auto svss_dealer = r.i32();
   auto counter = r.u32();
   auto instance = r.u32();
+  auto epoch = r.u32();
   if (!path || !variant || !owner || !moderator || !svss_dealer || !counter ||
-      !instance) {
+      !instance || !epoch) {
     return std::nullopt;
   }
   if (*path > static_cast<std::uint8_t>(SessionPath::kTest)) return std::nullopt;
@@ -41,6 +43,7 @@ std::optional<SessionId> read_sid(Reader& r) {
   sid.svss_dealer = static_cast<std::int16_t>(*svss_dealer);
   sid.counter = *counter;
   sid.instance = *instance;
+  sid.epoch = *epoch;
   return sid;
 }
 

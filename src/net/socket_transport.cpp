@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 
 namespace svss::net {
@@ -34,7 +35,12 @@ void install_stop_handlers() {
 
 bool stop_requested() { return g_stop_flag != 0; }
 
+void clear_stop_request() { g_stop_flag = 0; }
+
 namespace {
+
+// Reconnect backoff ceiling (the 100ms-doubling ladder tops out here).
+constexpr int kMaxBackoffMs = 2000;
 
 // epoll_event.data.u64 tag: role in the high bits, index in the low.
 constexpr std::uint64_t kTagListen = 1ull << 62;
@@ -104,6 +110,30 @@ bool SocketTransport::open() {
 
 void SocketTransport::set_peer(int id, Endpoint ep) {
   cfg_.peers.at(static_cast<std::size_t>(id)) = std::move(ep);
+  out_[static_cast<std::size_t>(id)].resolve_logged = false;
+}
+
+void SocketTransport::rebind_peer(int id, Endpoint ep) {
+  set_peer(id, std::move(ep));
+  OutPeer& o = out_[static_cast<std::size_t>(id)];
+  if (o.fd >= 0) {
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, o.fd, nullptr);
+    ::close(o.fd);
+    o.fd = -1;
+  }
+  o.connecting = false;
+  o.pos = o.frame_base;  // same discipline as drop_out
+  o.backoff_ms = 100;    // fresh endpoint, fresh backoff ladder
+  o.next_attempt = Clock::now();
+}
+
+std::size_t SocketTransport::pending_out_bytes(int id) const {
+  const OutPeer& o = out_[static_cast<std::size_t>(id)];
+  return o.buf.size() - o.frame_base;
+}
+
+int SocketTransport::peer_backoff_ms(int id) const {
+  return out_[static_cast<std::size_t>(id)].backoff_ms;
 }
 
 // ----------------------------------------------------------------------
@@ -129,6 +159,7 @@ void SocketTransport::queue_frame(int to, const Packet& p) {
     return;
   }
   append_packet_frame(out_[static_cast<std::size_t>(to)].buf, p);
+  trim_out(to);
 }
 
 void SocketTransport::send(int to, Packet p) {
@@ -155,6 +186,20 @@ void SocketTransport::start_connect(int peer) {
   OutPeer& o = out_[static_cast<std::size_t>(peer)];
   sockaddr_in addr;
   if (!resolve(cfg_.peers[static_cast<std::size_t>(peer)], addr)) {
+    // A bad endpoint will not fix itself at dial cadence: a refused dial
+    // climbs the backoff ladder, but an unresolvable one used to restart
+    // it at 100 ms and log nothing, which is a silent retry storm.  Jump
+    // straight to the capped tier and say so once.
+    if (!o.resolve_logged) {
+      o.resolve_logged = true;
+      std::fprintf(stderr,
+                   "svss-net[%d]: cannot resolve peer %d endpoint %s:%u; "
+                   "retrying at capped backoff\n",
+                   self_, peer,
+                   cfg_.peers[static_cast<std::size_t>(peer)].host.c_str(),
+                   cfg_.peers[static_cast<std::size_t>(peer)].port);
+    }
+    o.backoff_ms = kMaxBackoffMs;
     drop_out(peer);
     return;
   }
@@ -221,7 +266,7 @@ void SocketTransport::drop_out(int peer) {
   // length prefix and latch a stream error.
   o.pos = o.frame_base;
   o.next_attempt = Clock::now() + std::chrono::milliseconds(o.backoff_ms);
-  o.backoff_ms = std::min(o.backoff_ms * 2, 2000);
+  o.backoff_ms = std::min(o.backoff_ms * 2, kMaxBackoffMs);
 }
 
 // Advances frame_base past every completely flushed frame.  Frames are
@@ -239,6 +284,48 @@ void SocketTransport::advance_frame_base(OutPeer& o) {
     if (o.frame_base + frame > o.pos) break;
     o.frame_base += frame;
   }
+}
+
+// Enforces the per-peer cap on unflushed outbound bytes, shedding whole
+// frames oldest-first.  Only frames entirely beyond `pos` are candidates:
+// anything at or before `pos` is (partially) in the kernel already, and
+// cutting mid-frame would desync the receiver's length-prefixed stream —
+// the same discipline frame_base preserves across reconnects.  The HELLO
+// a dead connection may have left at frame_base is skipped so the next
+// successful dial still opens with it.
+void SocketTransport::trim_out(int peer) {
+  OutPeer& o = out_[static_cast<std::size_t>(peer)];
+  if (o.buf.size() - o.frame_base <= out_buf_cap_) return;
+  auto frame_len = [&o](std::size_t off) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(o.buf[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    return 4 + static_cast<std::size_t>(len);
+  };
+  // First frame boundary at or past the flushed prefix.
+  std::size_t cut = o.frame_base;
+  while (cut < o.pos) cut += frame_len(cut);
+  if (cut + 5 <= o.buf.size() &&
+      o.buf[cut + 4] == static_cast<std::uint8_t>(FrameKind::kHello)) {
+    cut += frame_len(cut);
+  }
+  // Shed oldest droppable frames until under the cap, but never the newest
+  // frame: a single frame bigger than the cap stays queued (soft bound).
+  std::size_t cut_end = cut;
+  std::uint64_t shed_frames = 0;
+  while (o.buf.size() - o.frame_base - (cut_end - cut) > out_buf_cap_) {
+    std::size_t next = cut_end + frame_len(cut_end);
+    if (next >= o.buf.size()) break;
+    cut_end = next;
+    ++shed_frames;
+  }
+  if (cut_end == cut) return;
+  metrics_.out_dropped_frames += shed_frames;
+  metrics_.out_dropped_bytes += cut_end - cut;
+  o.buf.erase(o.buf.begin() + static_cast<std::ptrdiff_t>(cut),
+              o.buf.begin() + static_cast<std::ptrdiff_t>(cut_end));
 }
 
 void SocketTransport::flush_out(int peer) {

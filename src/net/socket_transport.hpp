@@ -44,6 +44,9 @@ namespace svss::net {
 // blocked epoll_wait wakes with EINTR immediately.
 void install_stop_handlers();
 [[nodiscard]] bool stop_requested();
+// Resets the sticky stop flag (tests that raise() a signal and then keep
+// running; a real daemon never needs this).
+void clear_stop_request();
 
 class SocketTransport final : public ITransport {
  public:
@@ -68,6 +71,23 @@ class SocketTransport final : public ITransport {
   // Replaces a peer's endpoint before dialing starts (loopback clusters
   // learn kernel-assigned ports only after every listener is open).
   void set_peer(int id, Endpoint ep);
+  // Live endpoint replacement (epoch reconfiguration: a slot's process was
+  // swapped for one at a new address).  Drops the current connection,
+  // resets the backoff, and redials the new endpoint on the next poll;
+  // queued frames survive and flush to the replacement.
+  void rebind_peer(int id, Endpoint ep);
+  // Per-peer cap on unflushed outbound bytes.  While a peer is down its
+  // queue would otherwise grow without bound; past the cap the *oldest*
+  // complete unflushed frames are shed (never a frame the kernel already
+  // holds part of) and counted in metrics().out_dropped_*.  A single frame
+  // larger than the cap is kept — the cap bounds queue growth, it does not
+  // reject traffic outright.
+  void set_out_buffer_cap(std::size_t bytes) { out_buf_cap_ = bytes; }
+  // Unflushed outbound bytes queued toward `id` (tests pin the cap).
+  [[nodiscard]] std::size_t pending_out_bytes(int id) const;
+  // Current reconnect backoff tier for `id` (tests pin the resolve-failure
+  // fast path to the capped tier).
+  [[nodiscard]] int peer_backoff_ms(int id) const;
 
   // One event-loop iteration: flushes writable peers, waits at most
   // `wait_ms` for readiness, processes events, drains local deliveries.
@@ -100,6 +120,8 @@ class SocketTransport final : public ITransport {
     std::size_t frame_base = 0;
     int backoff_ms = 100;
     Clock::time_point next_attempt{};  // earliest (re)dial time
+    // A bad endpoint is logged once, not once per retry (set_peer resets).
+    bool resolve_logged = false;
   };
   // Accepted inbound connection; peer is learned from its HELLO frame.
   struct InConn {
@@ -115,6 +137,7 @@ class SocketTransport final : public ITransport {
   void finish_connect(int peer);
   void drop_out(int peer);
   static void advance_frame_base(OutPeer& o);
+  void trim_out(int peer);
   void flush_out(int peer);
   void handle_accept();
   void handle_inbound(std::size_t idx);
@@ -129,6 +152,7 @@ class SocketTransport final : public ITransport {
   SendHook hook_;
   Metrics metrics_;
 
+  std::size_t out_buf_cap_ = std::size_t{16} << 20;  // per peer
   int epfd_ = -1;
   int listen_fd_ = -1;
   bool closed_ = false;                   // shutdown() latched

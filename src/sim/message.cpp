@@ -12,6 +12,7 @@ std::string SessionId::str() const {
   os << kPathNames[static_cast<int>(path)] << "(c=" << counter
      << ",d=" << owner;
   if (instance != 0) os << ",i=" << instance;
+  if (epoch != 0) os << ",e=" << epoch;
   if (moderator >= 0) os << ",m=" << moderator;
   if (svss_dealer >= 0) os << ",sd=" << svss_dealer << ",v=" << int(variant);
   os << ")";
@@ -24,13 +25,13 @@ std::optional<SessionId> parent_session(const SessionId& sid) {
   switch (sid.path) {
     case SessionPath::kMwInSvssTop:
       return SessionId{SessionPath::kSvssTop, 0, sid.svss_dealer, -1, -1,
-                       sid.counter, sid.instance};
+                       sid.counter, sid.instance, sid.epoch};
     case SessionPath::kMwInSvssCoin:
       return SessionId{SessionPath::kSvssCoin, 0, sid.svss_dealer, -1, -1,
-                       sid.counter, sid.instance};
+                       sid.counter, sid.instance, sid.epoch};
     case SessionPath::kSvssCoin:
       return SessionId{SessionPath::kCoin, 0, -1, -1, -1,
-                       sid.counter / kMaxN, sid.instance};
+                       sid.counter / kMaxN, sid.instance, sid.epoch};
     default:
       return std::nullopt;
   }
@@ -46,6 +47,7 @@ void write_sid(Writer& w, const SessionId& s) {
   w.i32(s.svss_dealer);
   w.u32(s.counter);
   w.u32(s.instance);
+  w.u32(s.epoch);
 }
 
 std::optional<SessionId> read_sid(Reader& r) {
@@ -56,8 +58,9 @@ std::optional<SessionId> read_sid(Reader& r) {
   auto svss_dealer = r.i32();
   auto counter = r.u32();
   auto instance = r.u32();
+  auto epoch = r.u32();
   if (!path || !variant || !owner || !moderator || !svss_dealer || !counter ||
-      !instance) {
+      !instance || !epoch) {
     return std::nullopt;
   }
   if (*path > static_cast<std::uint8_t>(SessionPath::kTest)) return std::nullopt;
@@ -69,6 +72,7 @@ std::optional<SessionId> read_sid(Reader& r) {
   s.svss_dealer = static_cast<std::int16_t>(*svss_dealer);
   s.counter = *counter;
   s.instance = *instance;
+  s.epoch = *epoch;
   return s;
 }
 
@@ -110,8 +114,8 @@ std::optional<Message> Message::deserialize(const Bytes& raw) {
 }
 
 std::size_t Message::serialized_size() const {
-  // sid (22) + type (1) + a (4) + b (4) + three length-prefixed payloads.
-  return 22 + 1 + 4 + 4 + (4 + 4 * vals.size()) + (4 + 4 * ints.size()) +
+  // sid (26) + type (1) + a (4) + b (4) + three length-prefixed payloads.
+  return 26 + 1 + 4 + 4 + (4 + 4 * vals.size()) + (4 + 4 * ints.size()) +
          (4 + blob.size());
 }
 
@@ -144,6 +148,8 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kAbaBatchConf: return "aba-batch-conf";
     case MsgType::kAcsProposal: return "acs-proposal";
     case MsgType::kSumPoint: return "sum-point";
+    case MsgType::kEpochCatchupReq: return "epoch-catchup-req";
+    case MsgType::kEpochCatchupState: return "epoch-catchup-state";
     case MsgType::kTestPayload: return "test-payload";
   }
   return "unknown";
@@ -202,6 +208,7 @@ std::size_t SessionIdHash::operator()(const SessionId& s) const {
   h = mix(h, static_cast<std::size_t>(s.svss_dealer + 1));
   h = mix(h, s.counter);
   h = mix(h, s.instance);
+  h = mix(h, s.epoch);
   return h;
 }
 

@@ -53,6 +53,12 @@ struct SessionId {
   // stack multiplexes any number of instances and a receiver routes purely
   // on the sid.  0 for single-instance protocols and all non-ABA stacks.
   std::uint32_t instance = 0;
+  // Which membership epoch this session belongs to (core/epoch.hpp).  The
+  // epoch layer stamps outbound envelopes with the current epoch and drops
+  // inbound traffic from other epochs at the transport seam, so protocol
+  // code always runs with epoch 0 and never branches on this field.  Last
+  // so existing aggregate initializers stay valid.
+  std::uint32_t epoch = 0;
 
   friend auto operator<=>(const SessionId&, const SessionId&) = default;
   friend bool operator==(const SessionId&, const SessionId&) = default;
@@ -111,6 +117,13 @@ enum class MsgType : std::uint8_t {
   // --- extensions ---
   kAcsProposal = 50,     // ACS: opaque proposal                (RB)
   kSumPoint = 51,        // ASMPC secure sum: summed share point (RB)
+  // --- epoch/recovery control plane (core/epoch.hpp, core/recovery.hpp) ---
+  // These bypass the epoch fence: a rejoining daemon must be able to ask
+  // for state regardless of which epoch it crashed in.  `ints` of the
+  // request carries the (epoch, instance) pairs already known; the state
+  // reply's `blob` is encode_catchup_state().
+  kEpochCatchupReq = 52,   // rejoiner -> all: what did I miss?   (direct)
+  kEpochCatchupState = 53, // peer -> rejoiner: decisions + epoch (direct)
   // --- tests/examples ---
   kTestPayload = 60,
 };

@@ -53,6 +53,9 @@ const char* Metrics::type_group(MsgType type, bool* batched) {
     case MsgType::kAcsProposal:
     case MsgType::kSumPoint:
       return "ext";
+    case MsgType::kEpochCatchupReq:
+    case MsgType::kEpochCatchupState:
+      return "catchup";
     case MsgType::kTestPayload:
       return "other";
   }
@@ -95,6 +98,10 @@ std::string Metrics::summary() const {
                   std::to_string(max_depth) + ")";
   if (capped) {
     s += " [CAPPED at " + std::to_string(deliveries_at_cap) + " deliveries]";
+  }
+  if (out_dropped_frames > 0) {
+    s += " [shed " + std::to_string(out_dropped_frames) + " outbound frames/" +
+         std::to_string(out_dropped_bytes) + " bytes at the peer buffer cap]";
   }
   // Where the serialization bytes go: the top message types by volume.
   std::vector<std::size_t> slots;

@@ -28,6 +28,11 @@ struct Metrics {
   // cutoff must be a first-class outcome, not a silent truncation.
   bool capped = false;
   std::uint64_t deliveries_at_cap = 0;
+  // Outbound frames shed by the socket transport's per-peer buffer cap
+  // while a peer was unreachable (net/socket_transport.hpp).  Always whole
+  // frames, oldest first; zero on the sim backend.
+  std::uint64_t out_dropped_frames = 0;
+  std::uint64_t out_dropped_bytes = 0;
 
   // Per-message-type attribution of serialization cost: every packet the
   // engine meters is binned by the application MsgType it carries (RB
@@ -58,6 +63,8 @@ struct Metrics {
     if (o.deliveries_at_cap > deliveries_at_cap) {
       deliveries_at_cap = o.deliveries_at_cap;
     }
+    out_dropped_frames += o.out_dropped_frames;
+    out_dropped_bytes += o.out_dropped_bytes;
     for (std::size_t i = 0; i < kTypeSlots; ++i) {
       packets_by_type[i] += o.packets_by_type[i];
       bytes_by_type[i] += o.bytes_by_type[i];

@@ -222,6 +222,32 @@ inline void run_aba_equivalence(const VariantPair& pair,
   }
 }
 
+// Epoch-script equivalence: the same reconfiguration script (core/epoch.hpp)
+// must fully decide and agree on both backends.  Callers keep each
+// instance's inputs unanimous, so validity pins every decision to the
+// input and the two backends' values are comparable despite the socket
+// backend's nondeterministic schedule.
+inline void run_epoch_equivalence(const RunnerConfig& base,
+                                  const std::vector<EpochPlan>& script,
+                                  CoinMode mode = CoinMode::kIdealCommon) {
+  EpochsResult results[2];
+  const char* names[2] = {"sim", "socket-loopback"};
+  for (int v = 0; v < 2; ++v) {
+    RunnerConfig cfg = base;
+    cfg.transport.kind =
+        v == 0 ? TransportKind::kSim : TransportKind::kSocketLoopback;
+    Runner r(cfg);
+    results[v] = r.run_epochs(script, mode);
+    EXPECT_TRUE(results[v].all_decided) << names[v];
+    EXPECT_TRUE(results[v].agreed) << names[v];
+    ASSERT_EQ(results[v].epochs.size(), script.size()) << names[v];
+  }
+  for (std::size_t e = 0; e < script.size(); ++e) {
+    EXPECT_EQ(results[0].epochs[e].values, results[1].epochs[e].values)
+        << "epoch " << e << ": backends decided different values";
+  }
+}
+
 // Determinism: each framing is a pure function of the config — two runs of
 // the same seed produce identical event logs under every scheduler.
 inline void run_replay_determinism(const Variant& variant,

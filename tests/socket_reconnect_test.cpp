@@ -38,7 +38,7 @@ struct RawListener {
   int fd = -1;
   std::uint16_t port = 0;
 
-  bool open() {
+  bool open(std::uint16_t want_port = 0) {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return false;
     int rcv = 4096;
@@ -48,7 +48,7 @@ struct RawListener {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0;
+    addr.sin_port = htons(want_port);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
       return false;
     }
@@ -163,4 +163,198 @@ TEST(SocketReconnect, ResendsFromFrameBoundaryAfterMidFrameDrop) {
 }
 
 }  // namespace
+
+// Reserves a loopback port nobody listens on: connects to it are refused,
+// so a transport dialing it keeps its outbound queue forever.  Outside the
+// anonymous namespace so the daemon-shutdown test below can reuse it.
+std::uint16_t free_port() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return 0;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::close(fd);
+  return ntohs(bound.sin_port);
+}
+
+namespace {
+
+// While a peer is down, the outbound queue must stay bounded: whole oldest
+// frames are shed at the configured cap (never a partial frame, never the
+// newest), the shed bytes are metered, and once the peer comes back the
+// surviving stream still decodes cleanly end-to-end.  Pre-cap, pending
+// bytes grew without bound and the <= cap assertion fails.
+TEST(SocketReconnect, CapsOutboundQueueWhilePeerDown) {
+  std::uint16_t dead_port = free_port();
+  ASSERT_NE(dead_port, 0);
+
+  ClusterConfig cfg;
+  cfg.peers = {Endpoint{"127.0.0.1", 0}, Endpoint{"127.0.0.1", dead_port}};
+  SocketTransport t(0, cfg);
+  ASSERT_TRUE(t.open());
+  const std::size_t kCap = 8192;
+  t.set_out_buffer_cap(kCap);
+
+  // ~300-byte frames, far more than the cap's worth; poll between bursts
+  // so dials actually fail (refused) and the queue is what the cap sees.
+  const std::uint32_t kCount = 500;
+  std::size_t queued_bytes = 0;
+  for (std::uint32_t i = 1; i <= kCount; ++i) {
+    Packet p = test_packet(i, 256);
+    // Frame layout: [u32 len][u8 kind][payload] with len = 1 + payload.
+    queued_bytes += 4 + 1 + p.app.serialized_size();
+    t.send(1, std::move(p));
+    if (i % 50 == 0) t.poll(1);
+  }
+
+  EXPECT_LE(t.pending_out_bytes(1), kCap);
+  const Metrics& m = t.metrics();
+  EXPECT_GT(m.out_dropped_frames, 0u);
+  EXPECT_GT(m.out_dropped_bytes, 0u);
+  // Shedding cuts whole frames: every queued byte is either still pending
+  // or accounted dropped — nothing vanished mid-frame.
+  EXPECT_EQ(t.pending_out_bytes(1) + m.out_dropped_bytes, queued_bytes);
+
+  // Bring the peer up on the same port; the transport's capped backoff
+  // redials within ~2s and flushes the survivors.
+  RawListener peer;
+  ASSERT_TRUE(peer.open(dead_port));
+  int c = peer.accept_with(t, 10'000);
+  ASSERT_GE(c, 0);
+
+  FrameDecoder dec;
+  std::vector<Frame> frames;
+  auto deadline = Clock::now() + std::chrono::seconds(30);
+  std::vector<std::uint8_t> chunk(1u << 16);
+  bool saw_last = false;
+  while (!saw_last && !dec.broken() && Clock::now() < deadline) {
+    t.poll(2);
+    for (;;) {
+      ssize_t r = ::read(c, chunk.data(), chunk.size());
+      if (r <= 0) break;
+      ASSERT_TRUE(dec.feed(chunk.data(), static_cast<std::size_t>(r)) ||
+                  dec.broken());
+      while (auto f = dec.next()) frames.push_back(std::move(*f));
+      if (dec.broken()) break;
+    }
+    if (!frames.empty()) {
+      auto p = decode_packet(frames.back());
+      saw_last = p.has_value() && !p->is_rb && p->app.sid.counter == kCount;
+    }
+  }
+  ::close(c);
+
+  EXPECT_FALSE(dec.broken()) << "shedding corrupted the frame stream";
+  ASSERT_TRUE(saw_last) << "newest frame was shed";
+  // HELLO + a strict subset of the queued frames survived, oldest-first
+  // shed: the retained app frames are a contiguous newest suffix.
+  ASSERT_GT(frames.size(), 1u);
+  EXPECT_LT(frames.size(), static_cast<std::size_t>(kCount) + 1);
+  auto hello = decode_hello(frames[0], cfg.n());
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(*hello, 0);
+  std::uint32_t prev = 0;
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    auto p = decode_packet(frames[i]);
+    ASSERT_TRUE(p.has_value());
+    if (prev != 0) EXPECT_EQ(p->app.sid.counter, prev + 1);
+    prev = p->app.sid.counter;
+  }
+  EXPECT_EQ(prev, kCount);
+}
+
+// An endpoint that cannot resolve is a configuration error, not a
+// transient: the dialer must jump straight to the capped backoff tier
+// instead of spinning the 100ms ladder (and log once, not per retry).
+TEST(SocketReconnect, ResolveFailureUsesCappedBackoff) {
+  ClusterConfig cfg;
+  cfg.peers = {Endpoint{"127.0.0.1", 0}, Endpoint{"not-an-address", 9}};
+  SocketTransport t(0, cfg);
+  ASSERT_TRUE(t.open());
+
+  t.send(1, test_packet(1, 32));
+  for (int i = 0; i < 5; ++i) t.poll(1);
+
+  EXPECT_EQ(t.peer_backoff_ms(1), 2000);
+  EXPECT_GT(t.pending_out_bytes(1), 0u) << "frames must survive for a later "
+                                           "set_peer/rebind_peer fix";
+}
+
+}  // namespace
 }  // namespace svss::net
+
+// ----------------------------------------------------------------------
+// Daemon shutdown with an instance in flight (core/service_builder.hpp)
+// ----------------------------------------------------------------------
+
+#include <sys/stat.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "core/service_builder.hpp"
+
+namespace svss {
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// SIGTERM between submit() and the decision: the daemon's run loop must
+// return promptly (stop_requested), the process-level contract is exit 0
+// with a metrics line (exercised end-to-end by scripts/socket_smoke.sh),
+// and recovery must leave no half-written checkpoint behind — the atomic
+// tmp+rename discipline means a *.tmp file never outlives a crash window.
+TEST(DaemonShutdown, SigtermWithInstanceInFlightLeavesNoTornCheckpoint) {
+  // Peers are reserved-but-dead ports, so the instance can never decide —
+  // the worst case for a signalled shutdown.
+  net::ClusterConfig cluster;
+  cluster.peers.push_back(net::Endpoint{"127.0.0.1", 0});
+  for (int i = 0; i < 3; ++i) {
+    std::uint16_t port = net::free_port();
+    ASSERT_NE(port, 0);
+    cluster.peers.push_back(net::Endpoint{"127.0.0.1", port});
+  }
+
+  std::string ckpt = ::testing::TempDir() + "svss_sigterm_ckpt";
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
+  std::remove((ckpt + ".journal").c_str());
+
+  DaemonService svc =
+      ServiceBuilder().seed(7).build_daemon(0, std::move(cluster));
+  svc.enable_recovery(ckpt);
+  EXPECT_FALSE(svc.recover());
+  ASSERT_TRUE(svc.start());
+  svc.submit(0, 1, CoinMode::kIdealCommon, 7 ^ 0xC01F);
+
+  std::raise(SIGTERM);
+  bool decided = svc.run_until(
+      [&] {
+        const AbaSession* a = svc.node().aba(0);
+        return a != nullptr && a->decided();
+      },
+      5000);
+  EXPECT_FALSE(decided);
+  EXPECT_TRUE(DaemonService::stop_requested());
+  svc.shutdown();
+
+  EXPECT_FALSE(file_exists(ckpt + ".tmp"))
+      << "half-written checkpoint left behind";
+  EXPECT_FALSE(file_exists(ckpt)) << "no decision was made, so no checkpoint";
+  net::clear_stop_request();
+}
+
+}  // namespace
+}  // namespace svss
