@@ -17,12 +17,19 @@ EpochConfig identity_epoch(int n, int t) {
   return cfg;
 }
 
+// Per-peer ceiling on distinct tally keys during one catch-up handshake,
+// and a ceiling on distinct epoch-config candidates overall.  Honest
+// replies stay far below both; reports past the cap are dropped (a later
+// catch_up round re-requests whatever is still missing).
+constexpr int kMaxTalliedKeys = 1 << 16;
+constexpr std::size_t kMaxEpochCandidates = 64;
+
 }  // namespace
 
 DaemonService::DaemonService(int self, int n, int t, std::uint64_t seed,
                              net::ClusterConfig cluster,
                              const TransportOptions& opts)
-    : self_(self), t_(t), seed_(seed), opts_(opts) {
+    : self_(self), seed_(seed), opts_(opts) {
   transport_ =
       std::make_unique<net::SocketTransport>(self, std::move(cluster));
   epoch_ = std::make_unique<EpochTransport>(*transport_,
@@ -131,23 +138,35 @@ void DaemonService::adopt_record(const DecisionRecord& rec) {
   DecisionKey key{rec.epoch, rec.instance};
   if (!decided_.emplace(key, rec).second) return;
   if (journal_) {
-    journal_->append(rec);
+    if (!journal_->append(rec)) {
+      // A failed append can leave a torn entry mid-journal; replay stops
+      // at the tear, so every later append would be silently discarded on
+      // recovery.  Fold the whole table into a checkpoint (which
+      // truncates the journal); failing that, truncate the tear away, and
+      // failing even that stop journaling — a missing journal only costs
+      // wire catch-up, a torn one costs decisions.
+      if (!checkpoint_now()) {
+        if (!journal_->reset()) journal_.reset();
+        since_checkpoint_ = checkpoint_every_;  // retry on the next decision
+      }
+      return;
+    }
     if (++since_checkpoint_ >= checkpoint_every_) checkpoint_now();
   }
 }
 
-void DaemonService::checkpoint_now() {
-  if (checkpoint_path_.empty()) return;
+bool DaemonService::checkpoint_now() {
+  if (checkpoint_path_.empty()) return false;
   CheckpointData data;
   data.epoch = current_epoch();
   data.config = epoch_->config();
   data.seed = seed_;
   data.decisions.reserve(decided_.size());
   for (const auto& [key, rec] : decided_) data.decisions.push_back(rec);
-  if (save_checkpoint(checkpoint_path_, data)) {
-    if (journal_) journal_->reset();
-    since_checkpoint_ = 0;
-  }
+  if (!save_checkpoint(checkpoint_path_, data)) return false;
+  if (journal_) journal_->reset();
+  since_checkpoint_ = 0;
+  return true;
 }
 
 // ----------------------------------------------------------------------
@@ -175,27 +194,75 @@ void DaemonService::on_control(int global_from, const Message& m) {
     return;
   }
   if (m.type != MsgType::kEpochCatchupState) return;
+  // State replies only mean something while our own catch_up() is in
+  // flight; tallying unsolicited ones would let any peer grow the vote
+  // maps (and pre-stuff quorums) at will.
+  if (!catchup_active_) return;
   auto st = decode_catchup_state(m.blob);
   if (!st) return;
+  // The config must describe the epoch the sender claims to be current.
+  if (st->config.epoch != st->current_epoch) return;
   ++catchup_frames_;
   catchup_bytes_ += m.blob.size();
   if (st->current_epoch > current_epoch()) {
-    auto& [voters, config] = epoch_votes_[st->current_epoch];
-    voters.insert(global_from);
-    config = st->config;
+    // Epoch candidates are keyed by the serialized config: t+1 reporters
+    // must agree on a byte-identical config, so a lone Byzantine reply
+    // can never smuggle a forged member set under an honest epoch id.
+    Writer w;
+    st->config.serialize(w);
+    auto it = epoch_votes_.find(w.data());
+    if (it == epoch_votes_.end()) {
+      if (epoch_votes_.size() < kMaxEpochCandidates &&
+          take_tally_slot(global_from)) {
+        epoch_votes_.emplace(
+            std::move(w).take(),
+            std::pair{std::set<int>{global_from}, st->config});
+      }
+    } else if (it->second.first.count(global_from) == 0 &&
+               take_tally_slot(global_from)) {
+      it->second.first.insert(global_from);
+    }
   }
   for (const DecisionRecord& rec : st->decisions) {
     if (decided_.count(DecisionKey{rec.epoch, rec.instance}) != 0) continue;
-    auto& voters =
-        value_votes_[{rec.epoch, rec.instance, rec.value}];
-    voters.insert(global_from);
-    // t+1 matching reports contain at least one honest witness.
-    if (static_cast<int>(voters.size()) >= t_ + 1) adopt_record(rec);
+    std::tuple key{rec.epoch, rec.instance, rec.value};
+    auto it = value_votes_.find(key);
+    if (it == value_votes_.end()) {
+      if (!take_tally_slot(global_from)) continue;
+      it = value_votes_.emplace(key, std::set<int>{global_from}).first;
+    } else if (it->second.count(global_from) == 0) {
+      if (!take_tally_slot(global_from)) continue;
+      it->second.insert(global_from);
+    }
+    // t+1 matching reports contain at least one honest witness — under
+    // the resilience of every epoch between here and the record's.
+    if (static_cast<int>(it->second.size()) >= witness_t(rec.epoch) + 1) {
+      adopt_record(rec);
+    }
   }
+}
+
+bool DaemonService::take_tally_slot(int global_from) {
+  int& used = tallied_keys_[global_from];
+  if (used >= kMaxTalliedKeys) return false;
+  ++used;
+  return true;
+}
+
+int DaemonService::witness_t(std::uint32_t rec_epoch) const {
+  int t = epoch_->config().t;
+  for (const auto& entry : epoch_votes_) {
+    const EpochConfig& cfg = entry.second.second;
+    if (cfg.epoch > current_epoch() && cfg.epoch <= rec_epoch) {
+      t = std::max(t, cfg.t);
+    }
+  }
+  return t;
 }
 
 bool DaemonService::catch_up(const std::vector<std::uint32_t>& instances,
                              int timeout_ms) {
+  catchup_active_ = true;
   Message req;
   req.type = MsgType::kEpochCatchupReq;
   req.sid.owner = static_cast<std::int16_t>(self_);
@@ -215,15 +282,27 @@ bool DaemonService::catch_up(const std::vector<std::uint32_t>& instances,
                        });
   };
   transport_->run_until(have_all, timeout_ms);
-  // Re-enter a later epoch if t+1 peers agree on its config (take the
-  // newest such epoch — intermediate ones are already over).
+  // Re-enter the newest later epoch whose byte-identical config t+1
+  // peers reported.  The threshold honours both the epoch we are in and
+  // the one we would join, so the quorum holds an honest witness under
+  // either resilience.
   std::optional<EpochConfig> next;
-  for (const auto& [e, vote] : epoch_votes_) {
-    if (e > current_epoch() &&
-        static_cast<int>(vote.first.size()) >= t_ + 1) {
-      next = vote.second;
+  for (const auto& entry : epoch_votes_) {
+    const auto& voters = entry.second.first;
+    const EpochConfig& cfg = entry.second.second;
+    if (cfg.epoch <= current_epoch()) continue;
+    if (static_cast<int>(voters.size()) <
+        std::max(epoch_->config().t, cfg.t) + 1) {
+      continue;
     }
+    if (!next || cfg.epoch > next->epoch) next = cfg;
   }
+  // The tallies are per-handshake state; keeping them would let later
+  // frames build on a stale quorum.
+  catchup_active_ = false;
+  value_votes_.clear();
+  epoch_votes_.clear();
+  tallied_keys_.clear();
   if (next) advance_epoch(*next);
   return have_all();
 }

@@ -116,13 +116,17 @@ class DaemonService {
   bool recover();
   // Rejoin handshake: broadcasts kEpochCatchupReq (ints = the (epoch,
   // instance) pairs already known), adopts any decision t+1 peers report
-  // with a matching value, and re-enters a later epoch if t+1 peers agree
-  // on its config.  Returns true iff every instance in `instances` has a
-  // known decision afterwards.
+  // with a matching value, and re-enters a later epoch once t+1 peers
+  // report a byte-identical config for it (agreeing on the epoch id alone
+  // is not enough — a lone Byzantine reply must not pick the member set).
+  // State replies are tallied only while this call is in flight; the
+  // tallies are cleared before it returns.  Returns true iff every
+  // instance in `instances` has a known decision afterwards.
   bool catch_up(const std::vector<std::uint32_t>& instances, int timeout_ms);
-  // Forces a checkpoint now (clean-shutdown path).  No-op without
-  // enable_recovery().
-  void checkpoint_now();
+  // Forces a checkpoint now (clean-shutdown path, and the fallback when a
+  // journal append fails).  No-op without enable_recovery(); true iff the
+  // checkpoint file now covers the whole decision table.
+  bool checkpoint_now();
 
   using DecisionKey = std::pair<std::uint32_t, std::uint32_t>;  // epoch, inst
   // The decision for `instance` in its latest epoch, if known (decided
@@ -143,12 +147,19 @@ class DaemonService {
   void on_control(int global_from, const Message& m);
   void note_decision(int value, std::uint32_t round, std::uint32_t instance);
   void adopt_record(const DecisionRecord& rec);
+  // Claims one tally-map slot for `global_from`; false once that peer hit
+  // its per-handshake cap, so a flooder cannot grow the vote maps.
+  bool take_tally_slot(int global_from);
+  // Witness threshold for adopting a record of `rec_epoch`: the current
+  // config's t, raised by the t of any reported config for an epoch this
+  // daemon would cross to get there — t+1 matching reports must contain
+  // an honest witness under every resilience spanned.
+  [[nodiscard]] int witness_t(std::uint32_t rec_epoch) const;
   [[nodiscard]] std::string journal_path() const {
     return checkpoint_path_ + ".journal";
   }
 
   int self_;
-  int t_;
   std::uint64_t seed_;
   TransportOptions opts_;
   std::unique_ptr<net::SocketTransport> transport_;
@@ -162,11 +173,17 @@ class DaemonService {
   std::map<DecisionKey, DecisionRecord> decided_;
 
   // Catch-up tallies: value reports per (epoch, instance, value) and
-  // config reports per later epoch, each needing t+1 distinct peers.
+  // config reports per *byte-identical serialized config*, each needing
+  // t+1 distinct reporters.  Live only while catch_up() is in flight
+  // (unsolicited state frames are dropped on arrival) and per-peer
+  // key-capped, so a Byzantine peer can neither overwrite an honest
+  // quorum's config nor grow the maps without bound.
+  bool catchup_active_ = false;
   std::map<std::tuple<std::uint32_t, std::uint32_t, std::int32_t>,
            std::set<int>>
       value_votes_;
-  std::map<std::uint32_t, std::pair<std::set<int>, EpochConfig>> epoch_votes_;
+  std::map<Bytes, std::pair<std::set<int>, EpochConfig>> epoch_votes_;
+  std::map<int, int> tallied_keys_;  // per-peer distinct keys this handshake
   std::uint64_t catchup_frames_ = 0;
   std::uint64_t catchup_bytes_ = 0;
 };
