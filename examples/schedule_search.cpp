@@ -1,0 +1,172 @@
+// Coverage-guided schedule search, as a command-line tool.
+//
+// Runs the src/search/ mutation loop over one strategy x n cell and prints
+// the result; with --out it writes the best-found schedule as a corpus
+// entry JSON, ready to triage and commit under tests/corpus/ (where the
+// tier-1 corpus gate will replay it on every build).
+//
+//   example_schedule_search --n 4 --strategy colluding-cabal --coin svss
+//       --seeds 11,22 --iters 200 --search-seed 1
+//       --out tests/corpus/cabal-n4-svss.json
+//
+// With --replay <entry.json> it instead re-runs a corpus entry and reports
+// whether rounds and trace hash match the stored values (the same check
+// corpus_replay_test performs, usable on uncommitted candidates).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "search/corpus.hpp"
+
+namespace {
+
+using namespace svss;
+
+std::vector<std::uint64_t> parse_seeds(const std::string& csv) {
+  std::vector<std::uint64_t> seeds;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) seeds.push_back(std::strtoull(item.c_str(), nullptr, 10));
+  }
+  return seeds;
+}
+
+int usage() {
+  std::cerr
+      << "usage: example_schedule_search [--n N] [--strategy NAME]\n"
+         "         [--coin svss|ideal] [--seeds A,B,...] [--iters K]\n"
+         "         [--population P] [--search-seed S] [--budget DELIVERIES]\n"
+         "         [--name LABEL] [--out FILE]\n"
+         "       example_schedule_search --replay ENTRY.json\n"
+         "strategies: equivocating-dealer, adaptive-shun-aware,\n"
+         "            withholding-moderator, colluding-cabal\n";
+  return 2;
+}
+
+int replay_entry(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto entry = search::parse_corpus_entry(buf.str(), &error);
+  if (!entry) {
+    std::cerr << path << ": " << error << "\n";
+    return 1;
+  }
+  auto rep = search::replay_corpus_entry(*entry);
+  bool hash_ok = rep.trace_hash == entry->trace_hash;
+  bool rounds_ok = rep.worst_rounds == entry->worst_rounds &&
+                   rep.total_rounds == entry->total_rounds;
+  std::cout << "entry " << entry->name << ": decided="
+            << (rep.decided ? "yes" : "NO") << " capped="
+            << (rep.capped ? "YES" : "no") << " safe="
+            << (rep.safe ? "yes" : "NO") << "\n"
+            << "  rounds: worst " << rep.worst_rounds << " total "
+            << rep.total_rounds << (rounds_ok ? " (match)" : " (MISMATCH)")
+            << "\n  trace hash: " << rep.trace_hash
+            << (hash_ok ? " (match)" : " (MISMATCH)") << "\n";
+  return rep.decided && !rep.capped && rep.safe && hash_ok && rounds_ok ? 0
+                                                                        : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  search::SearchSpec spec;
+  spec.seeds = {11, 22};
+  spec.iterations = 200;
+  std::string out_path;
+  std::string name = "search-found";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--replay") {
+      const char* v = next();
+      return v != nullptr ? replay_entry(v) : usage();
+    }
+    const char* v = next();
+    if (v == nullptr) return usage();
+    if (arg == "--n") {
+      spec.n = std::atoi(v);
+    } else if (arg == "--strategy") {
+      bool found = false;
+      for (auto kind : adversary::kAllStrategies) {
+        if (std::strcmp(v, adversary::strategy_name(kind)) == 0) {
+          spec.strategy = kind;
+          found = true;
+        }
+      }
+      if (!found) return usage();
+    } else if (arg == "--coin") {
+      if (std::strcmp(v, "svss") == 0) {
+        spec.mode = CoinMode::kSvss;
+      } else if (std::strcmp(v, "ideal") == 0) {
+        spec.mode = CoinMode::kIdealCommon;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--seeds") {
+      spec.seeds = parse_seeds(v);
+    } else if (arg == "--iters") {
+      spec.iterations = std::atoi(v);
+    } else if (arg == "--population") {
+      spec.population = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--search-seed") {
+      spec.search_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--budget") {
+      spec.max_deliveries = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--name") {
+      name = v;
+    } else if (arg == "--out") {
+      out_path = v;
+    } else {
+      return usage();
+    }
+  }
+  if (spec.seeds.empty() || spec.n < 4 || spec.iterations < 1) return usage();
+
+  search::ScheduleSearch s(spec);
+  auto result = s.run();
+  std::cout << "evaluations: " << result.evaluations << "\n"
+            << "coverage bits: " << result.coverage_bits << "\n"
+            << "baseline: kind " << static_cast<int>(result.baseline_kind)
+            << " worst " << result.baseline_worst_rounds << " total "
+            << result.baseline_total_rounds << "\n";
+  if (result.safety_violation) {
+    std::cout << "SAFETY VIOLATION observed during search — triage the "
+                 "spec/seed before anything else\n";
+    return 1;
+  }
+  if (result.cap_witness) {
+    std::cout << "CAP WITNESS: some schedule exhausted the delivery budget "
+                 "— potential non-termination, triage before committing\n";
+  }
+  if (!result.have_best) {
+    std::cout << "no terminating safe genome found\n";
+    return 1;
+  }
+  std::cout << "best found: worst " << result.best.worst_rounds << " total "
+            << result.best.total_rounds << " rounds ("
+            << result.improvements << " improvements)\n"
+            << "beats fixed baseline: "
+            << (result.beats_baseline() ? "YES" : "no") << "\n";
+
+  auto entry = search::make_corpus_entry(spec, result, name);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << entry.to_json();
+    std::cout << "wrote " << out_path << "\n";
+  } else {
+    std::cout << entry.to_json();
+  }
+  return 0;
+}

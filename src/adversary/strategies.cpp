@@ -82,6 +82,14 @@ class SplitBrainStrategy : public IStrategy {
     return true;
   }
 
+  // Both halves see a fork, but the deviating branch (fork 1, the one
+  // derived strategies rewrite) courts the upper half: those are the
+  // processes a co-designed scheduler should starve to keep the two
+  // stories from reconciling.
+  [[nodiscard]] bool is_deceiving(int id) const override {
+    return id != env_.self && id >= env_.n / 2;
+  }
+
  protected:
   // Extra rewrite applied to fork 1's allowed packets (beyond the fork's
   // independently drawn randomness).  Default: none.
@@ -190,6 +198,12 @@ class AdaptiveShunAware final : public IStrategy {
     ++stats_.inbound;
     observe_sets(p);
     node_->on_packet(ctx, from, p);
+  }
+
+  // Every peer sees the corrupted recon broadcasts until the strategy
+  // infers an accusation and turns honest.
+  [[nodiscard]] bool is_deceiving(int id) const override {
+    return !stats_.adapted && id != env_.self;
   }
 
   bool on_outbound(int /*to*/, Packet& p) override {
@@ -305,6 +319,11 @@ class WithholdingModerator final : public IStrategy {
     node_->on_packet(ctx, from, p);
   }
 
+  // The withheld M-sets are denied to everyone alike.
+  [[nodiscard]] bool is_deceiving(int id) const override {
+    return id != env_.self;
+  }
+
   bool on_outbound(int /*to*/, Packet& p) override {
     // Both framings: the per-session broadcast and the group envelope
     // (kMwBatchMset coalesces only M-sets, so dropping it whole is the
@@ -373,6 +392,14 @@ class ColludingCabal final : public IStrategy {
     }
     observe_accusations(ctx);
     node_->on_packet(ctx, from, p);
+  }
+
+  // The false-value delta goes to lower-half non-members, and only while
+  // the cabal is neither evading nor silenced — exactly the processes a
+  // co-designed scheduler should starve so the lie keeps propagating.
+  [[nodiscard]] bool is_deceiving(int id) const override {
+    return !view_->evading && !view_->silenced && id < env_.n / 2 &&
+           !is_member(id);
   }
 
   bool on_outbound(int to, Packet& p) override {

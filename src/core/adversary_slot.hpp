@@ -61,6 +61,18 @@ class AdversarySlot : public IProcess {
   virtual bool on_outbound(int to, Packet& p) = 0;
   [[nodiscard]] virtual const StrategyStats& stats() const = 0;
   [[nodiscard]] virtual const char* strategy_name() const = 0;
+  // True while this strategy is actively deceiving process `id` — showing
+  // it corrupted values, courting it with a split-brain fork, or denying it
+  // traffic.  This is the strategy half of the widened scheduler seam
+  // (sim/scheduler.hpp ScheduleView): a full-information schedule adversary
+  // co-designs with the strategy by, e.g., starving exactly the deceived
+  // processes.  The answer may change over a run (adaptive strategies stop
+  // deceiving once they evade); it must be a pure function of the slot's
+  // deterministic state so schedules that consult it stay replayable.
+  [[nodiscard]] virtual bool is_deceiving(int id) const {
+    (void)id;
+    return false;
+  }
 };
 
 using AdversarySlotFactory =

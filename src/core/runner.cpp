@@ -68,13 +68,51 @@ RunnerConfig validate(RunnerConfig cfg) {
   return cfg;
 }
 
+// The Runner's half of the widened scheduler seam: delivery clock from the
+// engine, slot classification from the adversary layer.  Everything served
+// is deterministic in the run config, so schedulers consulting it replay.
+class RunnerScheduleView final : public ScheduleView {
+ public:
+  RunnerScheduleView(const Engine* engine,
+                     const std::vector<AdversarySlot*>* advs)
+      : engine_(engine), advs_(advs) {}
+
+  [[nodiscard]] std::uint64_t deliveries() const override {
+    return engine_->metrics().packets_delivered;
+  }
+  [[nodiscard]] bool is_adversary(int id) const override {
+    auto idx = static_cast<std::size_t>(id);
+    return idx < advs_->size() && (*advs_)[idx] != nullptr;
+  }
+  [[nodiscard]] bool is_deceived(int id) const override {
+    for (const AdversarySlot* slot : *advs_) {
+      if (slot != nullptr && slot->is_deceiving(id)) return true;
+    }
+    return false;
+  }
+
+ private:
+  const Engine* engine_;
+  const std::vector<AdversarySlot*>* advs_;
+};
+
+std::unique_ptr<Scheduler> build_scheduler(const RunnerConfig& cfg) {
+  std::uint64_t sched_seed = cfg.seed ^ 0x5C4EDULL;
+  if (cfg.scheduler_factory) {
+    auto sched = cfg.scheduler_factory(sched_seed, cfg.n, cfg.t);
+    if (!sched) {
+      throw std::invalid_argument("Runner: scheduler_factory returned null");
+    }
+    return sched;
+  }
+  return make_scheduler(cfg.scheduler, sched_seed, cfg.n, cfg.t);
+}
+
 }  // namespace
 
 Runner::Runner(RunnerConfig cfg)
     : cfg_(validate(std::move(cfg))),
-      engine_(cfg_.n, cfg_.t, cfg_.seed,
-              make_scheduler(cfg_.scheduler, cfg_.seed ^ 0x5C4EDULL, cfg_.n,
-                             cfg_.t)) {
+      engine_(cfg_.n, cfg_.t, cfg_.seed, build_scheduler(cfg_)) {
   nodes_.resize(static_cast<std::size_t>(cfg_.n));
   advs_.resize(static_cast<std::size_t>(cfg_.n));
   for (int i = 0; i < cfg_.n; ++i) {
@@ -114,6 +152,11 @@ Runner::Runner(RunnerConfig cfg)
     engine_.set_process(i, std::move(node));
     if (wire) engine_.set_interceptor(i, std::move(wire));
   }
+  // Widened scheduler seam: hand the scheduler its observable-state view
+  // now that every adversary slot exists.  Attached before any send, so
+  // even start()-burst priorities may consult it.
+  sched_view_ = std::make_unique<RunnerScheduleView>(&engine_, &advs_);
+  engine_.scheduler().attach(sched_view_.get());
 }
 
 Node& Runner::node(int i) {

@@ -25,11 +25,25 @@
 
 namespace svss {
 
+// Builds a run's scheduler from (scheduler seed, n, t).  The run stays a
+// pure function of its config only if the factory is a pure function of
+// these arguments — which every shipped factory (make_scheduler kinds,
+// search/genome.hpp genome schedules) is.
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(std::uint64_t seed, int n, int t)>;
+
 struct RunnerConfig {
   int n = 4;
   int t = 1;  // resilience parameter used by the protocol logic
   std::uint64_t seed = 1;
   SchedulerKind scheduler = SchedulerKind::kRandom;
+  // When set, overrides `scheduler`: the run's delivery order comes from
+  // this factory's scheduler instead of a fixed SchedulerKind.  This is how
+  // search-found schedule genomes (src/search/) and other custom schedule
+  // adversaries enter a run; the Runner attaches its ScheduleView to
+  // whatever the factory builds, so the scheduler may consult observable
+  // strategy/protocol state (sim/scheduler.hpp).
+  SchedulerFactory scheduler_factory;
   std::map<int, ByzConfig> faults;  // id -> behaviour (absent == honest)
   // id -> adversary strategy occupying that slot instead of an honest
   // Node.  Populated via the svss::adversary install helpers.  A slot may
@@ -232,6 +246,10 @@ class Runner {
   Engine engine_;
   std::vector<Node*> nodes_;         // borrowed; nullptr for adversary slots
   std::vector<AdversarySlot*> advs_; // borrowed; nullptr for honest slots
+  // Observable run state served to the scheduler (sim/scheduler.hpp):
+  // delivery clock from the engine, slot/deception classification from the
+  // adversary slots.  Owned here because it borrows both.
+  std::unique_ptr<ScheduleView> sched_view_;
 };
 
 }  // namespace svss

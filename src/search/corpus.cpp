@@ -1,0 +1,506 @@
+#include "search/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace svss::search {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (recursive descent, integers only)
+// ---------------------------------------------------------------------
+// The corpus format is produced by our own writers: objects, arrays,
+// strings without exotic escapes, booleans, and (possibly 64-bit unsigned)
+// integers.  No floats, no nulls-with-meaning.  A hand-rolled reader keeps
+// the container dependency-free; anything outside this subset is a parse
+// error, which for a corpus gate is the correct hard failure.
+
+struct Json {
+  enum class Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  std::string num;  // raw token, converted on demand
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::uint64_t as_u64() const {
+    return std::strtoull(num.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] std::int64_t as_i64() const {
+    return std::strtoll(num.c_str(), nullptr, 10);
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parse(std::string* error) {
+    std::optional<Json> v = value();
+    skip_ws();
+    if (v && pos_ != text_.size()) fail("trailing data after document");
+    if (!error_.empty()) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string_token() {
+    if (!eat('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default:
+            fail("unsupported string escape");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string_token();
+      if (!s) return std::nullopt;
+      Json v;
+      v.kind = Json::Kind::kStr;
+      v.str = std::move(*s);
+      return v;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      Json v;
+      v.kind = Json::Kind::kBool;
+      v.b = true;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      Json v;
+      v.kind = Json::Kind::kBool;
+      v.b = false;
+      return v;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json{};
+    }
+    if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+      Json v;
+      v.kind = Json::Kind::kNum;
+      if (c == '-') {
+        v.num += c;
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        v.num += text_[pos_++];
+      }
+      if (v.num.empty() || v.num == "-") {
+        fail("malformed number");
+        return std::nullopt;
+      }
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        fail("non-integer numbers are not part of the corpus format");
+        return std::nullopt;
+      }
+      return v;
+    }
+    fail("unexpected character");
+    return std::nullopt;
+  }
+
+  std::optional<Json> object() {
+    eat('{');
+    Json v;
+    v.kind = Json::Kind::kObj;
+    skip_ws();
+    if (eat('}')) return v;
+    while (true) {
+      auto key = string_token();
+      if (!key) return std::nullopt;
+      if (!eat(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.obj.emplace_back(std::move(*key), std::move(*val));
+      if (eat(',')) continue;
+      if (eat('}')) return v;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> array() {
+    eat('[');
+    Json v;
+    v.kind = Json::Kind::kArr;
+    skip_ws();
+    if (eat(']')) return v;
+    while (true) {
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.arr.push_back(std::move(*val));
+      if (eat(',')) continue;
+      if (eat(']')) return v;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------
+// Field decoding
+// ---------------------------------------------------------------------
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+std::optional<adversary::StrategyKind> strategy_from_name(
+    const std::string& name) {
+  constexpr adversary::StrategyKind kKinds[] = {
+      adversary::StrategyKind::kEquivocatingDealer,
+      adversary::StrategyKind::kAdaptiveShunAware,
+      adversary::StrategyKind::kWithholdingModerator,
+      adversary::StrategyKind::kColludingCabal,
+      adversary::StrategyKind::kEquivocatingAcsProposer,
+  };
+  for (adversary::StrategyKind k : kKinds) {
+    if (name == adversary::strategy_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const char* kind_name(SchedulerKind kind) {
+  // Mirrors sweep::scheduler_name (tests/sweep_common.hpp); duplicated
+  // here because src/ must not include test headers.
+  switch (kind) {
+    case SchedulerKind::kFifo: return "fifo";
+    case SchedulerKind::kRandom: return "random";
+    case SchedulerKind::kLifo: return "lifo";
+    case SchedulerKind::kDelayLastHonest: return "delay-last-honest";
+  }
+  return "unknown";
+}
+
+bool decode_genome(const Json& j, ScheduleGenome& out, std::string* error) {
+  if (j.kind != Json::Kind::kObj) {
+    return set_error(error, "genome: expected object");
+  }
+  const Json* seed = j.find("seed");
+  const Json* jitter = j.find("jitter");
+  const Json* genes = j.find("genes");
+  if (seed == nullptr || seed->kind != Json::Kind::kNum ||
+      jitter == nullptr || jitter->kind != Json::Kind::kNum ||
+      genes == nullptr || genes->kind != Json::Kind::kArr) {
+    return set_error(error, "genome: need numeric seed/jitter and genes[]");
+  }
+  out.seed = seed->as_u64();
+  out.jitter = static_cast<std::uint32_t>(jitter->as_u64());
+  out.genes.clear();
+  for (const Json& gj : genes->arr) {
+    if (gj.kind != Json::Kind::kObj) {
+      return set_error(error, "genome: gene must be an object");
+    }
+    Gene g;
+    for (const auto& [key, val] : gj.obj) {
+      if (key == "front") {
+        if (val.kind != Json::Kind::kBool) {
+          return set_error(error, "gene.front: expected bool");
+        }
+        g.front = val.b;
+        continue;
+      }
+      if (val.kind != Json::Kind::kNum) {
+        return set_error(error, "gene." + key + ": expected integer");
+      }
+      if (key == "from") {
+        g.from = static_cast<std::int16_t>(val.as_i64());
+      } else if (key == "to") {
+        g.to = static_cast<std::int16_t>(val.as_i64());
+      } else if (key == "is_rb") {
+        g.is_rb = static_cast<std::int8_t>(val.as_i64());
+      } else if (key == "from_class") {
+        g.from_class = static_cast<SlotClass>(val.as_u64());
+      } else if (key == "to_class") {
+        g.to_class = static_cast<SlotClass>(val.as_u64());
+      } else if (key == "after") {
+        g.after = val.as_u64();
+      } else if (key == "until") {
+        g.until = val.as_u64();
+      } else if (key == "delay") {
+        g.delay = val.as_u64();
+      } else {
+        return set_error(error, "gene: unknown field '" + key + "'");
+      }
+    }
+    out.genes.push_back(g);
+  }
+  if (out.genes.size() > kMaxGenes) {
+    return set_error(error, "genome: more than kMaxGenes genes");
+  }
+  return true;
+}
+
+const Json* need(const Json& j, const char* key, Json::Kind kind,
+                 std::string* error) {
+  const Json* v = j.find(key);
+  if (v == nullptr || v->kind != kind) {
+    set_error(error, std::string("missing or mistyped field '") + key + "'");
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<ScheduleGenome> parse_genome(const std::string& json,
+                                           std::string* error) {
+  JsonReader reader(json);
+  std::optional<Json> doc = reader.parse(error);
+  if (!doc) return std::nullopt;
+  ScheduleGenome g;
+  if (!decode_genome(*doc, g, error)) return std::nullopt;
+  return g;
+}
+
+std::optional<CorpusEntry> parse_corpus_entry(const std::string& json,
+                                              std::string* error) {
+  JsonReader reader(json);
+  std::optional<Json> doc = reader.parse(error);
+  if (!doc) return std::nullopt;
+  if (doc->kind != Json::Kind::kObj) {
+    set_error(error, "corpus entry: expected top-level object");
+    return std::nullopt;
+  }
+  CorpusEntry e;
+  const Json* name = doc->find("name");
+  if (name != nullptr && name->kind == Json::Kind::kStr) e.name = name->str;
+
+  const Json* n = need(*doc, "n", Json::Kind::kNum, error);
+  const Json* strategy = need(*doc, "strategy", Json::Kind::kStr, error);
+  const Json* coin = need(*doc, "coin", Json::Kind::kStr, error);
+  const Json* seeds = need(*doc, "seeds", Json::Kind::kArr, error);
+  const Json* budget = need(*doc, "max_deliveries", Json::Kind::kNum, error);
+  const Json* genome = need(*doc, "genome", Json::Kind::kObj, error);
+  const Json* worst = need(*doc, "worst_rounds", Json::Kind::kNum, error);
+  const Json* total = need(*doc, "total_rounds", Json::Kind::kNum, error);
+  const Json* bkind = need(*doc, "baseline_kind", Json::Kind::kStr, error);
+  const Json* bworst =
+      need(*doc, "baseline_worst_rounds", Json::Kind::kNum, error);
+  const Json* btotal =
+      need(*doc, "baseline_total_rounds", Json::Kind::kNum, error);
+  const Json* hash = need(*doc, "trace_hash", Json::Kind::kNum, error);
+  if (n == nullptr || strategy == nullptr || coin == nullptr ||
+      seeds == nullptr || budget == nullptr || genome == nullptr ||
+      worst == nullptr || total == nullptr || bkind == nullptr ||
+      bworst == nullptr || btotal == nullptr || hash == nullptr) {
+    return std::nullopt;
+  }
+
+  e.n = static_cast<int>(n->as_i64());
+  auto kind = strategy_from_name(strategy->str);
+  if (!kind) {
+    set_error(error, "unknown strategy '" + strategy->str + "'");
+    return std::nullopt;
+  }
+  e.strategy = *kind;
+  if (coin->str == "svss") {
+    e.mode = CoinMode::kSvss;
+  } else if (coin->str == "ideal") {
+    e.mode = CoinMode::kIdealCommon;
+  } else {
+    set_error(error, "unknown coin mode '" + coin->str + "'");
+    return std::nullopt;
+  }
+  for (const Json& s : seeds->arr) {
+    if (s.kind != Json::Kind::kNum) {
+      set_error(error, "seeds: expected integers");
+      return std::nullopt;
+    }
+    e.seeds.push_back(s.as_u64());
+  }
+  if (e.seeds.empty()) {
+    set_error(error, "seeds: must be non-empty");
+    return std::nullopt;
+  }
+  e.max_deliveries = budget->as_u64();
+  if (!decode_genome(*genome, e.genome, error)) return std::nullopt;
+  e.worst_rounds = static_cast<std::uint32_t>(worst->as_u64());
+  e.total_rounds = total->as_u64();
+  e.baseline_kind = bkind->str;
+  e.baseline_worst_rounds = static_cast<std::uint32_t>(bworst->as_u64());
+  e.baseline_total_rounds = btotal->as_u64();
+  e.trace_hash = hash->as_u64();
+  return e;
+}
+
+std::string CorpusEntry::to_json() const {
+  std::string out = "{\n  \"name\": \"" + name + "\",\n  \"n\": " +
+                    std::to_string(n) + ",\n  \"strategy\": \"" +
+                    adversary::strategy_name(strategy) +
+                    "\",\n  \"coin\": \"" +
+                    (mode == CoinMode::kSvss ? "svss" : "ideal") +
+                    "\",\n  \"seeds\": [";
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    out += (i == 0 ? "" : ", ") + std::to_string(seeds[i]);
+  }
+  out += "],\n  \"max_deliveries\": " + std::to_string(max_deliveries) +
+         ",\n  \"genome\": " + genome.to_json() +
+         ",\n  \"worst_rounds\": " + std::to_string(worst_rounds) +
+         ",\n  \"total_rounds\": " + std::to_string(total_rounds) +
+         ",\n  \"baseline_kind\": \"" + baseline_kind +
+         "\",\n  \"baseline_worst_rounds\": " +
+         std::to_string(baseline_worst_rounds) +
+         ",\n  \"baseline_total_rounds\": " +
+         std::to_string(baseline_total_rounds) +
+         ",\n  \"trace_hash\": " + std::to_string(trace_hash) + "\n}\n";
+  return out;
+}
+
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  if (fs::exists(dir)) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".json") {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<CorpusEntry> out;
+  for (const fs::path& p : paths) {
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      throw std::runtime_error("corpus: cannot read " + p.string());
+    }
+    std::string error;
+    auto entry = parse_corpus_entry(buf.str(), &error);
+    if (!entry) {
+      throw std::runtime_error("corpus: " + p.string() + ": " + error);
+    }
+    if (entry->name.empty()) entry->name = p.stem().string();
+    out.push_back(std::move(*entry));
+  }
+  return out;
+}
+
+ReplayOutcome replay_corpus_entry(const CorpusEntry& entry) {
+  SchedulerFactory factory = make_genome_factory(entry.genome);
+  ReplayOutcome out;
+  std::uint64_t chain = kFingerprintSeed;
+  for (std::uint64_t seed : entry.seeds) {
+    CellResult cell =
+        run_search_cell(entry.n, entry.strategy, entry.mode, seed,
+                        entry.max_deliveries, factory, nullptr);
+    out.worst_rounds = std::max(out.worst_rounds, cell.rounds);
+    out.total_rounds += cell.rounds;
+    out.capped = out.capped || cell.capped;
+    out.decided = out.decided && cell.all_decided;
+    out.safe = out.safe && (!cell.all_decided || (cell.agreed && cell.valid));
+    chain = fold_fingerprint(chain, cell.trace_hash);
+  }
+  out.trace_hash = chain;
+  return out;
+}
+
+CorpusEntry make_corpus_entry(const SearchSpec& spec,
+                              const SearchResult& result, std::string name) {
+  if (!result.have_best) {
+    throw std::invalid_argument(
+        "make_corpus_entry: search found no terminating safe genome");
+  }
+  CorpusEntry e;
+  e.name = std::move(name);
+  e.n = spec.n;
+  e.strategy = spec.strategy;
+  e.mode = spec.mode;
+  e.seeds = spec.seeds;
+  e.max_deliveries = spec.max_deliveries;
+  e.genome = result.best.genome;
+  e.worst_rounds = result.best.worst_rounds;
+  e.total_rounds = result.best.total_rounds;
+  e.baseline_kind = kind_name(result.baseline_kind);
+  e.baseline_worst_rounds = result.baseline_worst_rounds;
+  e.baseline_total_rounds = result.baseline_total_rounds;
+  e.trace_hash = result.best.trace_hash;
+  return e;
+}
+
+}  // namespace svss::search

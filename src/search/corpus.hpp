@@ -1,0 +1,80 @@
+// Replayable worst-case schedule corpus.
+//
+// Every schedule the search deems worth keeping is committed as one JSON
+// file under tests/corpus/: the complete run recipe (n, strategy, coin
+// mode, seed set, delivery budget, genome) plus the measured outcome
+// (worst/total rounds, the strongest fixed-SchedulerKind baseline it beat,
+// and the chained event-trace fingerprint).  Because runs are pure
+// functions of their config, the file IS the schedule — replaying it
+// re-derives the identical event trace, which the tier-1 corpus gate
+// (tests/corpus_replay_test.cpp) asserts on every build.
+//
+// Triage workflow: the CI stress lane runs a bounded search budget and
+// uploads candidate entries as an artifact; a human (or a follow-up PR)
+// inspects a candidate, re-runs it locally, and commits it under
+// tests/corpus/ — from then on it is a regression gate, not a hint.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "search/search.hpp"
+
+namespace svss::search {
+
+struct CorpusEntry {
+  std::string name;  // human label; load_corpus_dir defaults it to the stem
+  int n = 4;
+  adversary::StrategyKind strategy =
+      adversary::StrategyKind::kColludingCabal;
+  CoinMode mode = CoinMode::kSvss;
+  std::vector<std::uint64_t> seeds;
+  std::uint64_t max_deliveries = 20'000'000;
+  ScheduleGenome genome;
+  // Measured at commit time; replay must reproduce rounds and trace_hash
+  // exactly and stay strictly above the baseline.
+  std::uint32_t worst_rounds = 0;
+  std::uint64_t total_rounds = 0;
+  std::string baseline_kind;  // sweep scheduler_name of the strongest kind
+  std::uint32_t baseline_worst_rounds = 0;
+  std::uint64_t baseline_total_rounds = 0;
+  std::uint64_t trace_hash = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Parses one corpus-entry JSON document.  On failure returns nullopt and,
+// if `error` is non-null, a one-line diagnostic.
+std::optional<CorpusEntry> parse_corpus_entry(const std::string& json,
+                                              std::string* error);
+
+// Standalone genome parser for the canonical ScheduleGenome JSON form
+// (the writer half is ScheduleGenome::to_json).
+std::optional<ScheduleGenome> parse_genome(const std::string& json,
+                                           std::string* error);
+
+// Loads every *.json under `dir`, sorted by filename so gate order is
+// stable.  Throws std::runtime_error naming the offending file on any
+// parse failure — a corrupt committed entry must fail the gate, not skip.
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir);
+
+// Re-runs an entry's recipe (fresh Runner per seed, genome scheduler) and
+// reports the same aggregates the search scored, fingerprint-folded the
+// same way — comparing against the stored fields is the whole gate.
+struct ReplayOutcome {
+  std::uint32_t worst_rounds = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t trace_hash = 0;
+  bool capped = false;
+  bool decided = true;
+  bool safe = true;
+};
+ReplayOutcome replay_corpus_entry(const CorpusEntry& entry);
+
+// Packages a successful search outcome as a corpus entry (requires
+// result.have_best).
+CorpusEntry make_corpus_entry(const SearchSpec& spec,
+                              const SearchResult& result, std::string name);
+
+}  // namespace svss::search

@@ -1,0 +1,71 @@
+// Coverage signal for schedule search.
+//
+// The search needs to know when a schedule made the protocol do something
+// *new* — reach a phase ordering, a delivery interleaving, a round count no
+// previous schedule produced — without enumerating the (astronomical)
+// schedule space.  The classic answer is a fixed-size feature bitmap
+// (AFL-style): hash observable behaviour features into bits, and call a run
+// novel when it sets bits no earlier run set.
+//
+// Features, all deterministic in the run config:
+//  - per-receiver delivery bigrams: (receiver, previous wire type, wire
+//    type) — the per-message-type delivery orderings the engine's observer
+//    tap exposes;
+//  - protocol-phase transitions: consecutive EventKind pairs in the event
+//    log, plus per-kind firsts;
+//  - rounds-to-decide buckets per decider.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace svss::search {
+
+// Fixed-size bitmap keyed by feature hashes.
+class CoverageMap {
+ public:
+  static constexpr std::size_t kBits = 1 << 14;
+
+  CoverageMap() : words_(kBits / 64, 0) {}
+
+  // Marks the bit for `key`; true if it was previously clear.
+  bool mark(std::uint64_t key);
+
+  [[nodiscard]] std::size_t popcount() const;
+
+  // ORs `other` in; returns how many bits were newly set here.
+  std::size_t merge(const CoverageMap& other);
+
+  // Bits set in `other` but not here (novelty of a run vs the global map).
+  [[nodiscard]] std::size_t novel_bits(const CoverageMap& other) const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+// Per-run recorder.  Install `observer()` on the engine before the run and
+// call note_events() on the event log after it; `map()` is then the run's
+// behaviour signature.
+class RunCoverage {
+ public:
+  explicit RunCoverage(int n);
+
+  // Engine::DeliveryObserver-compatible tap.
+  void on_delivery(const PendingInfo& info, const Packet& pkt);
+  [[nodiscard]] Engine::DeliveryObserver observer();
+
+  // Folds protocol-phase transitions (EventKind bigrams + firsts, decide
+  // round buckets) from a finished run's log into the map.
+  void note_events(const EventLog& log);
+
+  [[nodiscard]] const CoverageMap& map() const { return map_; }
+
+ private:
+  std::vector<std::uint16_t> prev_code_;  // per-receiver last wire type
+  CoverageMap map_;
+};
+
+}  // namespace svss::search

@@ -1,0 +1,206 @@
+#include "search/genome.hpp"
+
+#include <algorithm>
+
+namespace svss::search {
+
+// ---------------------------------------------------------------------
+// GenomeScheduler
+// ---------------------------------------------------------------------
+
+bool GenomeScheduler::class_matches(SlotClass c, int id) const {
+  if (c == SlotClass::kAny) return true;
+  const ScheduleView* v = view();
+  if (v == nullptr || id < 0) return false;
+  switch (c) {
+    case SlotClass::kAny: return true;
+    case SlotClass::kAdversary: return v->is_adversary(id);
+    case SlotClass::kDeceived: return v->is_deceived(id);
+    case SlotClass::kClear:
+      return !v->is_adversary(id) && !v->is_deceived(id);
+  }
+  return false;
+}
+
+bool GenomeScheduler::gene_active(const Gene& g) const {
+  if (g.after == 0 && g.until == 0) return true;
+  const ScheduleView* v = view();
+  if (v == nullptr) return g.after == 0;
+  std::uint64_t clock = v->deliveries();
+  if (clock < g.after) return false;
+  return g.until == 0 || clock < g.until;
+}
+
+bool GenomeScheduler::gene_matches(const Gene& g, const PendingInfo& p) const {
+  if (g.from >= 0 && p.from != g.from) return false;
+  if (g.to >= 0 && p.to != g.to) return false;
+  if (g.is_rb >= 0 && p.is_rb != (g.is_rb != 0)) return false;
+  if (!class_matches(g.from_class, p.from)) return false;
+  if (!class_matches(g.to_class, p.to)) return false;
+  return true;
+}
+
+std::uint64_t GenomeScheduler::priority(const PendingInfo& p) {
+  // The jitter draw happens for every packet regardless of gene matches:
+  // the rng stream's position is then a function of the send sequence
+  // alone, which keeps priorities (and hence replay) independent of any
+  // future genome edits to the gene list semantics.
+  std::uint64_t pr = p.seq;
+  if (genome_.jitter > 0) pr += rng_.next_below(genome_.jitter);
+  bool front = false;
+  for (const Gene& g : genome_.genes) {
+    if (!gene_active(g) || !gene_matches(g, p)) continue;
+    pr += g.delay;
+    front = front || g.front;
+  }
+  return front ? 0 : pr;
+}
+
+SchedulerFactory make_genome_factory(ScheduleGenome genome) {
+  return [genome](std::uint64_t /*seed*/, int /*n*/, int /*t*/) {
+    return std::make_unique<GenomeScheduler>(genome);
+  };
+}
+
+// ---------------------------------------------------------------------
+// Mutation
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Delay magnitudes worth exploring: from "a nudge past the jitter band"
+// up to "parked until the age cap forces it" (engine default max_lag is
+// 1 << 20, so the top value pins a packet to the cap).
+constexpr std::uint64_t kDelaySteps[] = {
+    1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20,
+};
+
+Gene random_gene(Rng& rng, int n) {
+  Gene g;
+  // Endpoint match: mostly class-based (the interesting, n-independent
+  // attacks), sometimes a concrete id.
+  switch (rng.next_below(4)) {
+    case 0: g.to_class = SlotClass::kDeceived; break;
+    case 1: g.from_class = SlotClass::kClear; break;
+    case 2: g.to = static_cast<std::int16_t>(rng.next_below(
+                static_cast<std::uint64_t>(n)));
+            break;
+    case 3: g.from = static_cast<std::int16_t>(rng.next_below(
+                static_cast<std::uint64_t>(n)));
+            break;
+  }
+  if (rng.next_below(3) == 0) {
+    g.is_rb = static_cast<std::int8_t>(rng.next_below(2));
+  }
+  if (rng.next_below(4) == 0) {
+    g.after = rng.next_below(1 << 16);
+    if (rng.next_below(2) == 0) g.after = 0;
+    g.until = g.after + (1 << 14) + rng.next_below(1 << 18);
+    if (rng.next_below(3) == 0) g.until = 0;
+  }
+  if (rng.next_below(8) == 0) {
+    g.front = true;  // hastening a slice reorders as much as delaying one
+  } else {
+    g.delay = kDelaySteps[rng.next_below(std::size(kDelaySteps))];
+  }
+  return g;
+}
+
+}  // namespace
+
+ScheduleGenome random_genome(Rng& rng, int n) {
+  ScheduleGenome g;
+  g.seed = rng.next_u64() | 1;
+  switch (rng.next_below(4)) {
+    case 0: g.jitter = 0; break;
+    case 1: g.jitter = 1 << 8; break;
+    case 2: g.jitter = 1 << 10; break;
+    case 3: g.jitter = 1 << 14; break;
+  }
+  std::uint64_t count = 1 + rng.next_below(3);
+  for (std::uint64_t i = 0; i < count; ++i) g.genes.push_back(random_gene(rng, n));
+  return g;
+}
+
+ScheduleGenome mutate_genome(const ScheduleGenome& parent, Rng& rng, int n) {
+  ScheduleGenome g = parent;
+  // One to two edits per offspring keeps the fitness signal attributable.
+  std::uint64_t edits = 1 + rng.next_below(2);
+  for (std::uint64_t e = 0; e < edits; ++e) {
+    std::uint64_t op = rng.next_below(6);
+    if (g.genes.empty()) op = 0;
+    switch (op) {
+      case 0:  // add a gene
+        if (g.genes.size() < kMaxGenes) g.genes.push_back(random_gene(rng, n));
+        break;
+      case 1:  // drop a gene
+        g.genes.erase(g.genes.begin() +
+                      static_cast<std::ptrdiff_t>(rng.next_below(g.genes.size())));
+        break;
+      case 2: {  // rescale a gene's delay
+        Gene& gene = g.genes[rng.next_below(g.genes.size())];
+        gene.delay = kDelaySteps[rng.next_below(std::size(kDelaySteps))];
+        gene.front = false;
+        break;
+      }
+      case 3: {  // retarget a gene
+        Gene& gene = g.genes[rng.next_below(g.genes.size())];
+        Gene fresh = random_gene(rng, n);
+        gene.from = fresh.from;
+        gene.to = fresh.to;
+        gene.from_class = fresh.from_class;
+        gene.to_class = fresh.to_class;
+        gene.is_rb = fresh.is_rb;
+        break;
+      }
+      case 4: {  // shift/clear a gene's window
+        Gene& gene = g.genes[rng.next_below(g.genes.size())];
+        if (rng.next_below(2) == 0) {
+          gene.after = 0;
+          gene.until = 0;
+        } else {
+          gene.after = rng.next_below(1 << 17);
+          gene.until =
+              rng.next_below(2) == 0 ? 0 : gene.after + 1 + rng.next_below(1 << 18);
+        }
+        break;
+      }
+      case 5:  // reseed/rescale the jitter stream
+        if (rng.next_below(2) == 0) {
+          g.seed = rng.next_u64() | 1;
+        } else {
+          const std::uint32_t steps[] = {0, 1 << 8, 1 << 10, 1 << 14};
+          g.jitter = steps[rng.next_below(std::size(steps))];
+        }
+        break;
+    }
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------
+// JSON (writer half; the parser lives with the corpus machinery)
+// ---------------------------------------------------------------------
+
+std::string ScheduleGenome::to_json() const {
+  std::string out = "{\"seed\": " + std::to_string(seed) +
+                    ", \"jitter\": " + std::to_string(jitter) +
+                    ", \"genes\": [";
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    const Gene& g = genes[i];
+    out += std::string(i == 0 ? "" : ", ") + "{\"from\": " +
+           std::to_string(g.from) + ", \"to\": " + std::to_string(g.to) +
+           ", \"is_rb\": " + std::to_string(g.is_rb) +
+           ", \"from_class\": " +
+           std::to_string(static_cast<int>(g.from_class)) +
+           ", \"to_class\": " + std::to_string(static_cast<int>(g.to_class)) +
+           ", \"after\": " + std::to_string(g.after) +
+           ", \"until\": " + std::to_string(g.until) +
+           ", \"delay\": " + std::to_string(g.delay) +
+           ", \"front\": " + (g.front ? "true" : "false") + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace svss::search

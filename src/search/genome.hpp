@@ -1,0 +1,111 @@
+// Schedule genomes: seeded priority-perturbation programs.
+//
+// A genome is a small, mutation-friendly program over the scheduler seam:
+// a base jitter stream plus a list of genes, each matching a slice of the
+// traffic (sender/receiver ids, transport class, the widened ScheduleView's
+// adversary/deceived classification) inside a delivery-clock window and
+// displacing matched packets by a priority delay (or pinning them to the
+// front band).  GenomeScheduler interprets the program deterministically,
+// so a genome + run config is a complete, replayable schedule — the unit
+// the coverage-guided search (search.hpp) mutates and the worst-case
+// corpus (corpus.hpp) commits.
+//
+// Eventual delivery is never the genome's problem: whatever delays it
+// assigns, the engine's age cap forces starved packets through, so every
+// genome is a valid asynchronous adversary (same argument as the fixed
+// SchedulerKinds).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/runner.hpp"
+#include "sim/scheduler.hpp"
+
+namespace svss::search {
+
+// Slot-classification predicate for a gene endpoint, resolved against the
+// attached ScheduleView.  Without a view, only kAny matches.
+enum class SlotClass : std::uint8_t {
+  kAny = 0,
+  kAdversary = 1,  // slot hosts a strategy
+  kDeceived = 2,   // some strategy is currently lying to this slot
+  kClear = 3,      // honest slot, not currently deceived
+};
+
+// One priority-perturbation rule.  All match conditions AND together;
+// -1 / kAny are wildcards.
+struct Gene {
+  std::int16_t from = -1;              // exact sender id, or -1
+  std::int16_t to = -1;                // exact receiver id, or -1
+  std::int8_t is_rb = -1;              // 1 RB, 0 direct, -1 any
+  SlotClass from_class = SlotClass::kAny;
+  SlotClass to_class = SlotClass::kAny;
+  // Activation window on the global delivery clock: active while
+  // deliveries in [after, until), until == 0 meaning open-ended.  Windows
+  // with after > 0 need an attached view (no view: never active).
+  std::uint64_t after = 0;
+  std::uint64_t until = 0;
+  // Effect on matched packets: displace by `delay` sends, and/or pin to
+  // the front band (priority 0; ties resolve by send order).
+  std::uint64_t delay = 0;
+  bool front = false;
+
+  friend bool operator==(const Gene&, const Gene&) = default;
+};
+
+struct ScheduleGenome {
+  std::uint64_t seed = 1;        // jitter stream seed
+  std::uint32_t jitter = 1024;   // uniform per-packet jitter range (0 = off)
+  std::vector<Gene> genes;
+
+  friend bool operator==(const ScheduleGenome&,
+                         const ScheduleGenome&) = default;
+
+  // Canonical JSON form ({"seed":..,"jitter":..,"genes":[{..}]}) — the
+  // corpus wire format.  parse_genome lives in corpus.hpp with the rest of
+  // the JSON machinery.
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Mutation bounds: genomes stay small so schedules remain triageable.
+inline constexpr std::size_t kMaxGenes = 8;
+
+// A fresh random genome / a mutated copy.  Both are pure functions of the
+// Rng stream, so search trajectories replay from their seed.  `n` bounds
+// the id space genes may target.
+[[nodiscard]] ScheduleGenome random_genome(Rng& rng, int n);
+[[nodiscard]] ScheduleGenome mutate_genome(const ScheduleGenome& parent,
+                                           Rng& rng, int n);
+
+// Interprets a genome over the scheduler seam.  Base priority is the send
+// sequence plus jitter; every active matching gene adds its delay; a
+// matching front gene overrides to the front band.
+class GenomeScheduler final : public Scheduler {
+ public:
+  explicit GenomeScheduler(ScheduleGenome genome)
+      : genome_(std::move(genome)), rng_(genome_.seed) {}
+
+  std::uint64_t priority(const PendingInfo& p) override;
+
+  [[nodiscard]] const ScheduleGenome& genome() const { return genome_; }
+
+ private:
+  [[nodiscard]] bool gene_active(const Gene& g) const;
+  [[nodiscard]] bool gene_matches(const Gene& g, const PendingInfo& p) const;
+  [[nodiscard]] bool class_matches(SlotClass c, int id) const;
+
+  ScheduleGenome genome_;
+  Rng rng_;
+};
+
+// RunnerConfig::scheduler_factory adapter: every run built from the
+// returned factory schedules under (a fresh interpreter of) `genome`.
+// The genome's own seed fixes the jitter stream; the factory seed argument
+// is deliberately ignored so a corpus entry pins the exact schedule.
+[[nodiscard]] SchedulerFactory make_genome_factory(ScheduleGenome genome);
+
+}  // namespace svss::search

@@ -1,0 +1,219 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace svss::search {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_i64(std::uint64_t& h, std::int64_t v) {
+  fnv_u64(h, static_cast<std::uint64_t>(v));
+}
+
+// Lexicographic fitness: worst seed first, then the whole seed set, then
+// raw delivery work as a tie-break (a schedule that needs more traffic to
+// reach the same rounds stresses more of the stack).
+bool fitter(const EvalOutcome& a, const EvalOutcome& b) {
+  if (a.worst_rounds != b.worst_rounds) return a.worst_rounds > b.worst_rounds;
+  if (a.total_rounds != b.total_rounds) return a.total_rounds > b.total_rounds;
+  return a.total_deliveries > b.total_deliveries;
+}
+
+}  // namespace
+
+std::uint64_t fold_fingerprint(std::uint64_t chain, std::uint64_t cell_hash) {
+  fnv_u64(chain, cell_hash);
+  return chain;
+}
+
+std::uint64_t trace_fingerprint(const EventLog& log) {
+  std::uint64_t h = kFnvOffset;
+  for (const Event& e : log.events()) {
+    fnv_u64(h, static_cast<std::uint64_t>(e.kind));
+    fnv_i64(h, e.who);
+    fnv_i64(h, e.other);
+    fnv_u64(h, static_cast<std::uint64_t>(e.sid.path));
+    fnv_u64(h, e.sid.variant);
+    fnv_i64(h, e.sid.owner);
+    fnv_i64(h, e.sid.moderator);
+    fnv_i64(h, e.sid.svss_dealer);
+    fnv_u64(h, e.sid.counter);
+    fnv_u64(h, e.sid.instance);
+    fnv_u64(h, e.sid.epoch);
+    fnv_i64(h, e.value);
+    fnv_u64(h, e.has_value ? 1 : 0);
+  }
+  return h;
+}
+
+CellResult run_search_cell(int n, adversary::StrategyKind strategy,
+                           CoinMode mode, std::uint64_t seed,
+                           std::uint64_t max_deliveries,
+                           const SchedulerFactory& factory,
+                           RunCoverage* coverage) {
+  int t = (n - 1) / 3;
+  if (t < 1) {
+    throw std::invalid_argument("run_search_cell: need n >= 4 (t >= 1)");
+  }
+  RunnerConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.seed = seed;
+  cfg.scheduler_factory = factory;
+  cfg.max_deliveries = max_deliveries;
+  // Capped runs are an expected (and sought-after) search outcome, scored
+  // via CellResult::capped; a per-candidate stderr line would be noise.
+  cfg.warn_on_cap = false;
+  cfg.transport.aba_votes = Framing::kPerSession;
+  adversary::AdversaryConfig base;
+  if (strategy == adversary::StrategyKind::kColludingCabal &&
+      mode == CoinMode::kIdealCommon) {
+    base.silence_after = 300;  // same convention as the sweep harness
+  }
+  adversary::install_adversaries(cfg, strategy, t, base);
+
+  Runner r(cfg);
+  if (coverage != nullptr) {
+    r.engine().set_delivery_observer(coverage->observer());
+  }
+  std::vector<int> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) inputs.push_back(i % 2);
+  auto res = r.run_aba(inputs, mode);
+
+  CellResult out;
+  out.rounds = res.max_round;
+  out.deliveries = res.metrics.packets_delivered;
+  out.capped = res.metrics.capped;
+  out.all_decided = res.all_decided;
+  out.agreed = res.agreed;
+  out.valid = true;
+  if (res.all_decided) {
+    bool justified = false;
+    for (int i : r.honest_ids()) {
+      if (inputs[static_cast<std::size_t>(i)] == res.value) justified = true;
+    }
+    out.valid = justified;
+  }
+  if (coverage != nullptr) coverage->note_events(r.engine().log());
+  out.trace_hash = trace_fingerprint(r.engine().log());
+  return out;
+}
+
+ScheduleSearch::ScheduleSearch(SearchSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.search_seed) {}
+
+EvalOutcome ScheduleSearch::evaluate_factory(const SchedulerFactory& factory,
+                                             const ScheduleGenome* genome) {
+  EvalOutcome out;
+  if (genome != nullptr) out.genome = *genome;
+  CoverageMap union_map;
+  std::uint64_t chain = kFingerprintSeed;
+  for (std::uint64_t seed : spec_.seeds) {
+    RunCoverage cov(spec_.n);
+    CellResult cell =
+        run_search_cell(spec_.n, spec_.strategy, spec_.mode, seed,
+                        spec_.max_deliveries, factory, &cov);
+    out.worst_rounds = std::max(out.worst_rounds, cell.rounds);
+    out.total_rounds += cell.rounds;
+    out.total_deliveries += cell.deliveries;
+    out.capped = out.capped || cell.capped;
+    out.decided = out.decided && cell.all_decided;
+    out.safe = out.safe && (!cell.all_decided || (cell.agreed && cell.valid));
+    chain = fold_fingerprint(chain, cell.trace_hash);
+    union_map.merge(cov.map());
+  }
+  out.trace_hash = chain;
+  out.new_bits = map_.merge(union_map);
+  return out;
+}
+
+EvalOutcome ScheduleSearch::evaluate(const ScheduleGenome& genome) {
+  return evaluate_factory(make_genome_factory(genome), &genome);
+}
+
+SearchResult ScheduleSearch::run() {
+  SearchResult result;
+
+  // Baseline pass: the four fixed SchedulerKinds through the exact same
+  // evaluation path.  Their coverage seeds the global map, so "novel"
+  // later means "beyond anything the fixed catalogue does".
+  constexpr SchedulerKind kKinds[] = {
+      SchedulerKind::kFifo,
+      SchedulerKind::kRandom,
+      SchedulerKind::kLifo,
+      SchedulerKind::kDelayLastHonest,
+  };
+  bool first = true;
+  for (SchedulerKind kind : kKinds) {
+    SchedulerFactory factory = [kind](std::uint64_t seed, int n, int t) {
+      return make_scheduler(kind, seed, n, t);
+    };
+    EvalOutcome base = evaluate_factory(factory, nullptr);
+    if (base.capped) result.cap_witness = true;
+    if (!base.safe) result.safety_violation = true;
+    std::uint32_t worst = base.decided && !base.capped ? base.worst_rounds : 0;
+    std::uint64_t total = base.decided && !base.capped ? base.total_rounds : 0;
+    if (first || worst > result.baseline_worst_rounds ||
+        (worst == result.baseline_worst_rounds &&
+         total > result.baseline_total_rounds)) {
+      result.baseline_kind = kind;
+      result.baseline_worst_rounds = worst;
+      result.baseline_total_rounds = total;
+      first = false;
+    }
+  }
+
+  // Mutation loop.  Parents are kept on fitness; a genome that merely set
+  // new coverage bits also earns a pool slot, which is what lets the
+  // search walk through fitness-neutral intermediate schedules.
+  std::vector<EvalOutcome> pool;
+  for (int i = 0; i < spec_.iterations; ++i) {
+    ScheduleGenome g;
+    if (pool.empty() || i < 4 || rng_.next_below(8) == 0) {
+      g = random_genome(rng_, spec_.n);
+    } else {
+      const EvalOutcome& parent = pool[rng_.next_below(pool.size())];
+      g = mutate_genome(parent.genome, rng_, spec_.n);
+    }
+    EvalOutcome ev = evaluate(g);
+    ++result.evaluations;
+    if (ev.capped) result.cap_witness = true;
+    if (!ev.safe) result.safety_violation = true;
+    // Only terminating, safe runs compete on fitness: the corpus promises
+    // replayed entries decide within budget, and a safety break is a bug
+    // report, not a schedule.
+    bool eligible = ev.decided && !ev.capped && ev.safe;
+    if (!eligible) continue;
+    if (!result.have_best || fitter(ev, result.best)) {
+      result.best = ev;
+      result.have_best = true;
+      ++result.improvements;
+    }
+    if (ev.new_bits > 0 || pool.size() < spec_.population ||
+        fitter(ev, pool.back())) {
+      pool.push_back(std::move(ev));
+      std::sort(pool.begin(), pool.end(),
+                [](const EvalOutcome& a, const EvalOutcome& b) {
+                  return fitter(a, b);
+                });
+      if (pool.size() > spec_.population) pool.resize(spec_.population);
+    }
+  }
+  result.coverage_bits = map_.popcount();
+  return result;
+}
+
+}  // namespace svss::search

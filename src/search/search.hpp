@@ -1,0 +1,134 @@
+// Coverage-guided adversarial schedule search.
+//
+// The termination sweep (tests/sweep_common.hpp) samples a fixed seeds x
+// strategies x schedulers grid; the rare termination-delaying interleavings
+// the paper's almost-sure-termination proof actually sweats are found there
+// only by luck.  This subsystem *searches* for them: a mutation loop over
+// schedule genomes (genome.hpp), scored by rounds-to-decide and guided by
+// behaviour-coverage novelty (coverage.hpp), with every candidate run
+// through exactly the replayable cell the corpus gate re-runs later.
+//
+// Fitness is lexicographic (worst rounds over the seed set, then total
+// rounds, then deliveries); a genome also survives into the parent pool on
+// coverage novelty alone, which is what lets the search cross fitness
+// plateaus.  A run that breaks agreement/validity or exhausts the delivery
+// budget is not a "better schedule" — it is a finding, surfaced loudly via
+// SearchResult, because either would falsify the paper's claims.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "core/runner.hpp"
+#include "search/coverage.hpp"
+#include "search/genome.hpp"
+
+namespace svss::search {
+
+// One agreement cell under an arbitrary scheduler factory — the shared
+// evaluation primitive.  Mirrors the sweep harness conventions: t = (n-1)/3
+// strategy-driven faults in the top slots, mixed inputs (i mod 2, the
+// schedule-sensitive pattern), per-session vote framing so strategies reach
+// their attack surface, and the cabal's silence clock when the ideal coin
+// leaves it no values to corrupt.
+struct CellResult {
+  std::uint32_t rounds = 0;       // max decision round among honest
+  std::uint64_t deliveries = 0;
+  bool capped = false;
+  bool all_decided = false;
+  bool agreed = false;
+  bool valid = false;
+  std::uint64_t trace_hash = 0;   // FNV-1a over the canonical event trace
+};
+
+CellResult run_search_cell(int n, adversary::StrategyKind strategy,
+                           CoinMode mode, std::uint64_t seed,
+                           std::uint64_t max_deliveries,
+                           const SchedulerFactory& factory,
+                           RunCoverage* coverage);
+
+// Canonical event-trace fingerprint (every Event field, little-endian,
+// FNV-1a 64).  Two runs of one config must agree on it — the corpus gate's
+// byte-identity check compresses to this.
+std::uint64_t trace_fingerprint(const EventLog& log);
+
+// Multi-seed fingerprints chain per-cell hashes with an order-dependent
+// FNV fold starting from kFingerprintSeed; replay must fold the same way
+// to reproduce a stored hash.
+inline constexpr std::uint64_t kFingerprintSeed = 0xCBF29CE484222325ULL;
+std::uint64_t fold_fingerprint(std::uint64_t chain, std::uint64_t cell_hash);
+
+struct SearchSpec {
+  int n = 4;
+  adversary::StrategyKind strategy =
+      adversary::StrategyKind::kColludingCabal;
+  CoinMode mode = CoinMode::kSvss;
+  std::vector<std::uint64_t> seeds = {11, 22};
+  std::uint64_t max_deliveries = 20'000'000;
+  int iterations = 32;         // genome evaluations after the baselines
+  std::size_t population = 6;  // elite parent pool size
+  std::uint64_t search_seed = 1;
+};
+
+// A genome's aggregate score over the spec's seed set.
+struct EvalOutcome {
+  ScheduleGenome genome;
+  std::uint32_t worst_rounds = 0;   // max over seeds
+  std::uint64_t total_rounds = 0;   // sum over seeds
+  std::uint64_t total_deliveries = 0;
+  std::size_t new_bits = 0;         // coverage novelty vs the global map
+  bool capped = false;              // some seed exhausted its budget
+  bool decided = true;              // every seed fully decided
+  bool safe = true;                 // agreement + validity held everywhere
+  std::uint64_t trace_hash = 0;     // fingerprint chained across seeds
+};
+
+struct SearchResult {
+  EvalOutcome best;  // best terminating, safe genome found
+  bool have_best = false;
+  // The strongest fixed SchedulerKind on the same seed set (the adversary
+  // baseline the search must beat).
+  SchedulerKind baseline_kind = SchedulerKind::kFifo;
+  std::uint32_t baseline_worst_rounds = 0;
+  std::uint64_t baseline_total_rounds = 0;
+  std::size_t coverage_bits = 0;  // global map popcount at the end
+  int evaluations = 0;            // genome evaluations performed
+  int improvements = 0;           // evaluations that beat the then-best
+  // Findings: either of these would falsify a paper property and must be
+  // triaged, not celebrated as fitness.
+  bool safety_violation = false;
+  bool cap_witness = false;
+
+  [[nodiscard]] bool beats_baseline() const {
+    return have_best && (best.worst_rounds > baseline_worst_rounds ||
+                         (best.worst_rounds == baseline_worst_rounds &&
+                          best.total_rounds > baseline_total_rounds));
+  }
+};
+
+class ScheduleSearch {
+ public:
+  explicit ScheduleSearch(SearchSpec spec);
+
+  // Scores one genome over the seed set and folds its behaviour coverage
+  // into the global map (new_bits reports the novelty it contributed).
+  EvalOutcome evaluate(const ScheduleGenome& genome);
+
+  // Baselines the four fixed SchedulerKinds, then runs the mutation loop
+  // for spec.iterations evaluations.
+  SearchResult run();
+
+  [[nodiscard]] const CoverageMap& coverage() const { return map_; }
+  [[nodiscard]] const SearchSpec& spec() const { return spec_; }
+
+ private:
+  EvalOutcome evaluate_factory(const SchedulerFactory& factory,
+                               const ScheduleGenome* genome);
+
+  SearchSpec spec_;
+  CoverageMap map_;
+  Rng rng_;
+};
+
+}  // namespace svss::search

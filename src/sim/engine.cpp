@@ -268,7 +268,10 @@ void Engine::deliver_one() {
   chosen.pkt = Packet{};
   int to = chosen.to;
   int from = chosen.from;
+  std::uint64_t seq = chosen.seq;
   free_slots_.push_back(slot);
+
+  if (observer_) observer_(PendingInfo{seq, from, to, pkt.is_rb}, pkt);
 
   auto ti = static_cast<std::size_t>(to);
   if (ti < ports_.size() && ports_[ti] && ports_[ti]->has_sink()) {

@@ -178,6 +178,21 @@ class Engine {
   // Age cap: a packet skipped for more than this many deliveries is forced
   // through, guaranteeing eventual delivery under any scheduler.
   void set_max_lag(std::uint64_t lag) { max_lag_ = lag; }
+  [[nodiscard]] std::uint64_t max_lag() const { return max_lag_; }
+
+  // The run's scheduler (for attaching a ScheduleView or inspecting it).
+  Scheduler& scheduler() { return *sched_; }
+
+  // Read-only tap on the delivery stream: called for every delivered packet
+  // just before it is dispatched to its receiver.  This is the coverage
+  // signal for schedule search (src/search/) — observing deliveries cannot
+  // influence them, so replay stays byte-identical with or without an
+  // observer installed.
+  using DeliveryObserver =
+      std::function<void(const PendingInfo&, const Packet&)>;
+  void set_delivery_observer(DeliveryObserver obs) {
+    observer_ = std::move(obs);
+  }
 
  private:
   friend class Context;
@@ -243,6 +258,7 @@ class Engine {
   std::uint64_t max_lag_ = 1 << 20;
   std::uint64_t current_depth_ = 0;  // causal depth during a delivery
   std::vector<std::uint64_t> proc_depth_;
+  DeliveryObserver observer_;
   Metrics metrics_;
   EventLog log_;
   bool started_ = false;

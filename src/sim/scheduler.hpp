@@ -29,12 +29,43 @@ struct PendingInfo {
   bool is_rb;
 };
 
+// Observable run state a scheduler may consult beyond the per-packet
+// PendingInfo — the widened seam that makes a scheduler a *full-information*
+// adversary co-designed with the strategy catalogue (src/adversary/).  The
+// Runner attaches an implementation before the first send; everything it
+// serves is deterministic in the run's config, so schedule decisions that
+// consult it stay byte-replayable.
+class ScheduleView {
+ public:
+  virtual ~ScheduleView() = default;
+  // Global delivery clock: packets delivered so far (Metrics counter).
+  // Lets a schedule program phase its behaviour over the run.
+  [[nodiscard]] virtual std::uint64_t deliveries() const = 0;
+  // True if slot `id` hosts an adversary strategy (not an honest Node).
+  [[nodiscard]] virtual bool is_adversary(int id) const = 0;
+  // True if some strategy is *currently* deceiving process `id` (showing it
+  // corrupted values, a split-brain fork, or withholding its traffic).  The
+  // canonical co-designed attack: starve exactly the processes the cabal is
+  // lying to, so the lie stays load-bearing as long as possible.
+  [[nodiscard]] virtual bool is_deceived(int id) const = 0;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   // Delivery priority for a freshly sent packet; smaller is earlier.
   // Ties are broken by send order.
   virtual std::uint64_t priority(const PendingInfo& p) = 0;
+  // Attaches the observable-state handle (may be nullptr; the view must
+  // outlive the scheduler's last priority() call).  Stateless schedulers
+  // simply never read view().
+  void attach(const ScheduleView* view) { view_ = view; }
+
+ protected:
+  [[nodiscard]] const ScheduleView* view() const { return view_; }
+
+ private:
+  const ScheduleView* view_ = nullptr;
 };
 
 // Send order == delivery order: the benign, synchronous-looking schedule.
@@ -65,9 +96,21 @@ class LifoScheduler : public Scheduler {
 };
 
 // Targeted delay: packets matching `slow` are pushed `penalty` sends into
-// the future (and may be re-penalized only via the engine's age cap).
-// Models attacks like "starve the moderator" or "delay the last t honest
-// processes" while the rest of the network stays fast.
+// the future.  Models attacks like "starve the moderator" or "delay the
+// last t honest processes" while the rest of the network stays fast.
+//
+// Invariant (pinned by scheduler_order_test): the priority of a packet is
+// assigned exactly once, at send time, so `penalty` is a one-shot
+// displacement — the scheduler has no way to re-penalize a packet it has
+// already delayed.  A slow packet with send sequence s therefore competes
+// normally once the global send counter passes s + penalty + jitter (any
+// later packet's priority exceeds its own), and independently the engine's
+// age cap forces it through once it has been skipped for more than max_lag
+// deliveries.  Either way it is delivered within penalty + max_lag
+// deliveries of entering the front of the age queue, whichever bound bites
+// first.  An adversary wanting *unbounded* targeted starvation cannot get
+// it from this seam; that is exactly the eventual-delivery guarantee the
+// paper's network model requires.
 class TargetedDelayScheduler : public Scheduler {
  public:
   using SlowPredicate = std::function<bool(const PendingInfo&)>;

@@ -9,6 +9,11 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "search/corpus.hpp"
+
+#ifndef SVSS_CORPUS_DIR
+#define SVSS_CORPUS_DIR "tests/corpus"
+#endif
 
 namespace svss {
 namespace {
@@ -92,6 +97,66 @@ TEST(Replay, DifferentSeedsDiverge) {
     return trace_bytes(r.engine().log());
   };
   EXPECT_NE(run(1), run(2));
+}
+
+// Custom genome schedules (src/search/) must replay like the fixed kinds:
+// the same config + genome produces byte-identical traces.  The genome
+// exercises every interpreter feature — jitter stream, id match, class
+// match (resolved through the Runner-attached ScheduleView), a delivery
+// window, and a front pin.
+TEST(Replay, GenomeScheduleTraceIsByteIdentical) {
+  search::ScheduleGenome genome;
+  genome.seed = 0xFEED5EED;
+  genome.jitter = 512;
+  search::Gene delay_deceived;
+  delay_deceived.to_class = search::SlotClass::kDeceived;
+  delay_deceived.delay = 1 << 14;
+  genome.genes.push_back(delay_deceived);
+  search::Gene windowed_front;
+  windowed_front.from = 3;
+  windowed_front.after = 100;
+  windowed_front.until = 5'000;
+  windowed_front.front = true;
+  genome.genes.push_back(windowed_front);
+
+  auto run = [&] {
+    RunnerConfig c;
+    c.n = 4;
+    c.t = 1;
+    c.seed = 20260808;
+    c.scheduler_factory = search::make_genome_factory(genome);
+    adversary::install_adversaries(
+        c, adversary::StrategyKind::kColludingCabal, 1);
+    Runner r(c);
+    auto res = r.run_aba({0, 1, 1, 0}, CoinMode::kSvss);
+    return std::make_tuple(trace_bytes(r.engine().log()), res.all_decided,
+                           res.value,
+                           r.engine().metrics().packets_delivered);
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_FALSE(std::get<0>(a).empty());
+  EXPECT_EQ(a, b);
+}
+
+// Every committed corpus entry re-runs byte-identically within one build:
+// two fresh replays of the stored recipe agree on rounds and on the
+// chained trace fingerprint.  (corpus_replay_test.cpp separately pins the
+// replay against the *stored* hash — the across-rebuild gate.)
+TEST(Replay, CorpusEntriesReplayByteIdentically) {
+  auto entries = search::load_corpus_dir(SVSS_CORPUS_DIR);
+  ASSERT_FALSE(entries.empty())
+      << "committed corpus at " << SVSS_CORPUS_DIR << " is empty";
+  for (const auto& entry : entries) {
+    auto a = search::replay_corpus_entry(entry);
+    auto b = search::replay_corpus_entry(entry);
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << entry.name;
+    EXPECT_EQ(a.worst_rounds, b.worst_rounds) << entry.name;
+    EXPECT_EQ(a.total_rounds, b.total_rounds) << entry.name;
+    EXPECT_TRUE(a.decided) << entry.name;
+    EXPECT_FALSE(a.capped) << entry.name;
+    EXPECT_TRUE(a.safe) << entry.name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/engine.hpp"
 #include "sim/scheduler.hpp"
 
@@ -132,6 +133,145 @@ TEST(SchedulerOrder, MaxLagBoundsStarvationForEveryKind) {
         << "age cap failed to bound waiting under kind "
         << static_cast<int>(kind);
   }
+}
+
+// A deliberately adversarial Scheduler implementation: the seam promises
+// eventual delivery for ANY priority function, so the property test below
+// feeds the engine pathological ones — constant 0 (total tie), ~seq
+// (monotone newest-first, the mirror of FIFO), seeded random extremes
+// (each packet either front-band or back-band), and targeted starvation
+// of one receiver's traffic.
+class HostileScheduler final : public Scheduler {
+ public:
+  enum class Mode { kConstantZero, kNotSeq, kRandomExtreme, kStarveReceiver };
+
+  HostileScheduler(Mode mode, std::uint64_t seed, int victim = -1)
+      : mode_(mode), rng_(seed), victim_(victim) {}
+
+  std::uint64_t priority(const PendingInfo& p) override {
+    switch (mode_) {
+      case Mode::kConstantZero: return 0;
+      case Mode::kNotSeq: return ~p.seq;
+      case Mode::kRandomExtreme: return rng_.next_bool() ? 0 : ~0ULL;
+      case Mode::kStarveReceiver: return p.to == victim_ ? ~0ULL : p.seq;
+    }
+    return 0;
+  }
+
+ private:
+  Mode mode_;
+  Rng rng_;
+  int victim_;
+};
+
+// Property: whatever priorities a hostile scheduler returns — including
+// the all-ones "never deliver" answer for a targeted victim — the age cap
+// still forces the oldest packet through within max_lag deliveries.  This
+// is the invariant that makes the schedule-search genomes (src/search/)
+// safe by construction: no genome can starve a packet past the cap.
+TEST(SchedulerOrder, HostilePrioritiesCannotBeatAgeCap) {
+  constexpr std::uint64_t kLag = 50;
+  using Mode = HostileScheduler::Mode;
+  struct Case {
+    Mode mode;
+    std::uint64_t seed;
+  };
+  std::vector<Case> cases = {{Mode::kConstantZero, 1},
+                             {Mode::kNotSeq, 1},
+                             {Mode::kStarveReceiver, 1}};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cases.push_back({Mode::kRandomExtreme, seed});
+  }
+  for (const Case& c : cases) {
+    std::vector<int> got;
+    Engine e(4, 1, 7,
+             std::make_unique<HostileScheduler>(c.mode, c.seed, /*victim=*/3));
+    e.set_max_lag(kLag);
+    e.set_process(0, std::make_unique<Chatter>());
+    e.set_process(1, std::make_unique<Chatter>());
+    e.set_process(2, std::make_unique<Chatter>());
+    e.set_process(3, std::make_unique<Recorder>(&got));
+    Message marker;
+    marker.a = 42;
+    Context ctx0(e, 0);
+    ctx0.send(3, make_direct(marker));
+    Context ctx1(e, 1);
+    Message m;
+    ctx1.send(2, make_direct(m));
+    auto status = e.run_until([&] { return !got.empty(); }, 10'000);
+    EXPECT_EQ(status, RunStatus::kQuiescent)
+        << "marker starved under hostile mode " << static_cast<int>(c.mode)
+        << " seed " << c.seed;
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 42);
+    EXPECT_LE(e.metrics().packets_delivered, kLag + 2)
+        << "age cap failed under hostile mode " << static_cast<int>(c.mode)
+        << " seed " << c.seed;
+  }
+}
+
+// TargetedDelayScheduler's documented invariant (sim/scheduler.hpp): the
+// penalty displaces a slow-predicate packet once, at send time, and the
+// packet is re-penalized only by the age cap — so it is delivered within
+// penalty + max_lag deliveries of entering the system.  Two regimes:
+//
+// Cap regime: the penalty (1 << 18) dwarfs a small max_lag (64), so the
+// age cap is what forces the marker through, within ~max_lag deliveries.
+TEST(SchedulerOrder, TargetedDelayCapRegimeBound) {
+  constexpr std::uint64_t kLag = 64;
+  constexpr std::uint64_t kPenalty = 1 << 18;
+  std::vector<int> got;
+  auto slow = [](const PendingInfo& p) { return p.to == 3; };
+  Engine e(4, 1, 7,
+           std::make_unique<TargetedDelayScheduler>(7, slow, kPenalty));
+  e.set_max_lag(kLag);
+  e.set_process(0, std::make_unique<Chatter>());
+  e.set_process(1, std::make_unique<Chatter>());
+  e.set_process(2, std::make_unique<Chatter>());
+  e.set_process(3, std::make_unique<Recorder>(&got));
+  Message marker;
+  marker.a = 7;
+  Context ctx0(e, 0);
+  ctx0.send(3, make_direct(marker));
+  Context ctx1(e, 1);
+  Message m;
+  ctx1.send(2, make_direct(m));
+  auto status = e.run_until([&] { return !got.empty(); }, 10'000);
+  EXPECT_EQ(status, RunStatus::kQuiescent);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_LE(e.metrics().packets_delivered, kLag + 2);
+  EXPECT_LE(e.metrics().packets_delivered, kPenalty + kLag);
+}
+
+// Priority regime: a modest penalty under the default (huge) age cap.  The
+// marker's one-shot displacement is penalty + jitter (< 1 << 10), so fresh
+// traffic overtakes it for at most that many sends before its priority is
+// again the smallest — well within the documented penalty + max_lag bound.
+TEST(SchedulerOrder, TargetedDelayPriorityRegimeBound) {
+  constexpr std::uint64_t kPenalty = 4096;
+  std::vector<int> got;
+  auto slow = [](const PendingInfo& p) { return p.to == 3; };
+  Engine e(4, 1, 7,
+           std::make_unique<TargetedDelayScheduler>(7, slow, kPenalty));
+  e.set_process(0, std::make_unique<Chatter>());
+  e.set_process(1, std::make_unique<Chatter>());
+  e.set_process(2, std::make_unique<Chatter>());
+  e.set_process(3, std::make_unique<Recorder>(&got));
+  Message marker;
+  marker.a = 7;
+  Context ctx0(e, 0);
+  ctx0.send(3, make_direct(marker));
+  Context ctx1(e, 1);
+  Message m;
+  ctx1.send(2, make_direct(m));
+  auto status = e.run_until([&] { return !got.empty(); }, 100'000);
+  EXPECT_EQ(status, RunStatus::kQuiescent);
+  ASSERT_EQ(got.size(), 1u);
+  // One-shot displacement: delivered as soon as the send clock passes the
+  // marker's penalized priority (seq 0 + jitter + penalty), long before
+  // the age cap would have to intervene.
+  EXPECT_LE(e.metrics().packets_delivered, kPenalty + (1 << 10) + 4);
+  EXPECT_LE(e.metrics().packets_delivered, kPenalty + e.max_lag());
 }
 
 // LIFO with the age cap still delivers *everything* (no packet is lost to

@@ -5,9 +5,13 @@
 // n = 7, which is too slow for the default suite.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string_view>
 
+#include "search/corpus.hpp"
 #include "sweep_common.hpp"
 
 namespace svss {
@@ -221,6 +225,66 @@ TEST(Stress, FullStackSweepN7) {
         << report.to_json();
   }
   sweep::maybe_write_report(report, "stress-full-stack-n7");
+}
+
+// Coverage-guided schedule search under a bounded budget (override with
+// SVSS_SEARCH_BUDGET): mutate genome schedules against the colluding cabal
+// on full-stack n = 4 cells, then re-run the best-found schedule through
+// the sweep harness (custom-factory lane) so it lands in the
+// SVSS_SWEEP_REPORT artifact next to the fixed-kind rows.  Candidate
+// corpus entries are written to SVSS_SEARCH_CORPUS (if set) for triage —
+// the commit-to-tests/corpus step stays a human decision (see README).
+TEST(Stress, ScheduleSearchEmitsCorpusCandidates) {
+  search::SearchSpec spec;
+  spec.n = 4;
+  spec.strategy = adversary::StrategyKind::kColludingCabal;
+  spec.mode = CoinMode::kSvss;
+  spec.seeds = {11, 22};
+  spec.max_deliveries = 20'000'000;
+  spec.iterations = 48;
+  spec.search_seed = 20260808;
+  if (const char* budget = std::getenv("SVSS_SEARCH_BUDGET")) {
+    spec.iterations = std::max(1, std::atoi(budget));
+  }
+
+  search::ScheduleSearch s(spec);
+  auto result = s.run();
+  std::cout << "schedule search: " << result.evaluations << " evals, "
+            << result.coverage_bits << " coverage bits, baseline "
+            << sweep::scheduler_name(result.baseline_kind) << " worst "
+            << result.baseline_worst_rounds << ", best found worst "
+            << (result.have_best ? result.best.worst_rounds : 0) << "\n";
+  // Either of these is a falsification witness, not a schedule: fail the
+  // lane loudly so the seed/genome in the log gets triaged.
+  EXPECT_FALSE(result.safety_violation);
+  EXPECT_FALSE(result.cap_witness);
+  ASSERT_TRUE(result.have_best);
+
+  if (const char* dir = std::getenv("SVSS_SEARCH_CORPUS")) {
+    std::filesystem::create_directories(dir);
+    auto entry = search::make_corpus_entry(spec, result,
+                                           "candidate-cabal-n4-svss");
+    std::ofstream out(std::filesystem::path(dir) /
+                      "candidate-cabal-n4-svss.json");
+    out << entry.to_json();
+  }
+
+  // The found schedule rides the sweep grid: same cells, custom factory,
+  // labeled rows in the JSON artifact.
+  sweep::SweepSpec sw;
+  sw.ns = {4};
+  sw.full_stack_max_n = 4;
+  sw.strategies = {spec.strategy};
+  sw.schedulers = {SchedulerKind::kFifo};  // placeholder axis
+  sw.seeds = spec.seeds;
+  sw.max_deliveries = spec.max_deliveries;
+  sw.scheduler_factory = search::make_genome_factory(result.best.genome);
+  sw.scheduler_label = "genome-best";
+  auto report = sweep::run_aba_termination_sweep(sw);
+  EXPECT_EQ(report.safety_violations, 0) << report.to_json();
+  EXPECT_EQ(report.capped_runs, 0) << report.to_json();
+  EXPECT_EQ(report.undecided_runs, 0) << report.to_json();
+  sweep::maybe_write_report(report, "stress-schedule-search");
 }
 
 }  // namespace

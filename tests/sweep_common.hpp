@@ -60,6 +60,13 @@ struct SweepSpec {
   // the like), applied after the base fields and before the strategy is
   // installed.
   std::function<void(RunnerConfig&)> configure;
+  // Optional custom schedule: when set, every cell runs under this factory
+  // instead of the SchedulerKind axis (set `schedulers` to a single
+  // placeholder kind), and report rows carry `scheduler_label` so
+  // search-found genome schedules (src/search/) are distinguishable from
+  // the fixed catalogue in sweep artifacts.
+  SchedulerFactory scheduler_factory;
+  std::string scheduler_label;
 };
 
 // Honest-input pattern of one cell.  Mixed inputs exercise the coin path
@@ -95,6 +102,7 @@ struct CellResult {
   int t = 0;
   adversary::StrategyKind strategy{};
   SchedulerKind scheduler{};
+  std::string scheduler_label;  // non-empty for custom-factory schedules
   std::uint64_t seed = 0;
   InputPattern pattern{};
   CoinMode mode{};
@@ -150,7 +158,9 @@ struct SweepReport {
       const CellResult& c = cells[i];
       out += std::string("    {\"n\": ") + std::to_string(c.n) +
              ", \"strategy\": \"" + adversary::strategy_name(c.strategy) +
-             "\", \"scheduler\": \"" + scheduler_name(c.scheduler) +
+             "\", \"scheduler\": \"" +
+             (c.scheduler_label.empty() ? scheduler_name(c.scheduler)
+                                        : c.scheduler_label.c_str()) +
              "\", \"seed\": " + std::to_string(c.seed) +
              ", \"inputs\": \"" + pattern_name(c.pattern) +
              "\", \"coin\": \"" +
@@ -203,6 +213,10 @@ inline CellResult run_aba_cell(int n, adversary::StrategyKind strategy,
   // adversary slot.  Vote-batching correctness has its own equivalence
   // coverage; this sweep is about adversary/DMM behavior.
   cfg.transport.aba_votes = Framing::kPerSession;
+  if (spec.scheduler_factory) {
+    cfg.scheduler_factory = spec.scheduler_factory;
+    cell.scheduler_label = spec.scheduler_label;
+  }
   if (spec.configure) spec.configure(cfg);
   int faulty = cell.t;
   adversary::AdversaryConfig base;
